@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The two-year scenario is simulated once per benchmark session (the
+``medium`` preset: full study window, reduced agent population) and every
+table/figure benchmark then measures its analytics pass against that run and
+prints the regenerated rows/series for comparison with the paper.
+
+Use ``ScenarioConfig.paper()`` instead of ``medium()`` for a full-scale run
+(slower, larger agent population).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.records import extract_liquidations
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.scenarios import build_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario_result():
+    """The completed two-year (medium-population) scenario run."""
+    engine = build_scenario(ScenarioConfig.medium(seed=7))
+    return engine.run()
+
+
+@pytest.fixture(scope="session")
+def records(scenario_result):
+    """Normalised liquidation records of the scenario run."""
+    return extract_liquidations(scenario_result)

@@ -1,0 +1,14 @@
+"""Benchmark (ablation) — close factor vs over-liquidation (Section 4.4.1)."""
+
+from repro.experiments import close_factor_ablation
+
+
+def test_close_factor_ablation(benchmark):
+    data = benchmark(close_factor_ablation.compute)
+    print("\n" + close_factor_ablation.render(data))
+    by_cf = {point.close_factor: point for point in data.points}
+    # A 50 % close factor permits repaying far more than health restoration
+    # needs, and the excess borrower loss grows with the close factor.
+    assert by_cf[0.5].repay_allowed_usd > 1.5 * by_cf[0.5].repay_needed_usd
+    losses = [point.excess_loss_usd for point in sorted(data.points, key=lambda p: p.close_factor)]
+    assert losses == sorted(losses)

@@ -1,0 +1,12 @@
+"""Benchmark E-APXC — regenerate the Appendix C configuration analysis."""
+
+from repro.experiments import configuration_sweep
+
+
+def test_configuration_sweep(benchmark):
+    data = benchmark(configuration_sweep.compute)
+    print("\n" + configuration_sweep.render(data))
+    # Every production market of the studied protocols satisfies Appendix C's
+    # prerequisite 1 - LT(1+LS) > 0.
+    assert all(data.production_configs.values())
+    assert 0.0 < data.reasonable_share < 1.0

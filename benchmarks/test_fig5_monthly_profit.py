@@ -1,0 +1,15 @@
+"""Benchmark E-F5 — regenerate Figure 5 (monthly liquidation profit)."""
+
+from repro.experiments import fig5_monthly_profit
+
+
+def test_fig5_monthly_profit(benchmark, records):
+    data = benchmark(fig5_monthly_profit.compute, records)
+    print("\n" + fig5_monthly_profit.render(data))
+    assert data.monthly_profit
+    # The MakerDAO outlier month should coincide with the March 2020 crash
+    # (the keeper-failure incident), as in the paper.
+    if "MakerDAO" in data.peaks:
+        month, value = data.peaks["MakerDAO"]
+        assert value > 0
+        assert month.startswith("2020-03") or value >= max(data.monthly_profit["MakerDAO"].values()) * 0.999

@@ -1,0 +1,14 @@
+"""Benchmark E-F6 — regenerate Figure 6 (liquidation gas prices)."""
+
+from repro.experiments import fig6_gas_prices
+
+
+def test_fig6_gas_prices(benchmark, scenario_result):
+    report = benchmark(fig6_gas_prices.compute, scenario_result)
+    print("\n" + fig6_gas_prices.render(report))
+    assert len(report.points) > 0
+    # The paper reports 73.97 % of liquidations paying an above-average fee;
+    # the shape check is that a clear majority outbids the market average.
+    assert report.share_above_average > 0.5
+    # Congestion episodes push some liquidation bids far above the baseline.
+    assert report.max_gas_price_gwei > 10 * min(report.average_gas_price_gwei)

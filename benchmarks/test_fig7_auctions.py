@@ -1,0 +1,18 @@
+"""Benchmark E-F7 — regenerate Figure 7 / Section 4.3.3 (MakerDAO auctions)."""
+
+from repro.experiments import fig7_auctions
+
+
+def test_fig7_auctions(benchmark, scenario_result):
+    report = benchmark(fig7_auctions.compute, scenario_result)
+    print("\n" + fig7_auctions.render(report))
+    assert report.settled_auctions > 0
+    # Section 4.3.3: roughly two bidders and 2.6 bids per auction, with both
+    # tend- and dent-phase terminations present.
+    assert 1.0 <= report.mean_bids_per_auction <= 6.0
+    assert 1.0 <= report.mean_bidders_per_auction <= 4.0
+    assert report.tend_terminations > 0
+    assert report.dent_terminations > 0
+    # The configured parameters change after the March 2020 incident.
+    assert len(report.config_changes) >= 2
+    assert report.config_changes[-1].bid_duration_hours > report.config_changes[0].bid_duration_hours

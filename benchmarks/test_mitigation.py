@@ -1,0 +1,14 @@
+"""Benchmark E-MIT — regenerate the Section 5.2.3 mitigation analysis."""
+
+import pytest
+
+from repro.experiments import mitigation
+
+
+def test_mitigation(benchmark):
+    data = benchmark(mitigation.compute)
+    print("\n" + mitigation.render(data))
+    # The paper: a mining liquidator needs > 99.68 % mining power to prefer
+    # the optimal strategy once liquidations are limited to one per block.
+    assert data.case_study.alpha_threshold == pytest.approx(0.9968, abs=0.002)
+    assert all(threshold >= 0.0 for threshold in data.thresholds_by_cr.values())

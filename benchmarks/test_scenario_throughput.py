@@ -1,0 +1,20 @@
+"""Benchmark — simulation throughput of the scenario engine itself.
+
+Not a paper artefact: this measures how fast the substrate replays a short
+window of the study, which is the cost every other benchmark's session
+fixture pays once.
+"""
+
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.scenarios import build_scenario
+
+
+def run_short_window() -> int:
+    config = ScenarioConfig.small(seed=3).with_overrides(end_block=9_780_000)
+    result = build_scenario(config).run()
+    return len(result.chain.blocks)
+
+
+def test_scenario_throughput(benchmark):
+    blocks = benchmark.pedantic(run_short_window, rounds=1, iterations=1)
+    assert blocks > 50

@@ -1,0 +1,12 @@
+"""Benchmark E-S452 — regenerate Section 4.5.2 (stablecoin stability)."""
+
+from repro.experiments import stablecoin
+
+
+def test_stablecoin_stability(benchmark, scenario_result):
+    report = benchmark(stablecoin.compute, scenario_result)
+    print("\n" + stablecoin.render(report))
+    # The paper: pairwise differences stay within 5 % for 99.97 % of blocks.
+    assert report.within_threshold_share > 0.95
+    assert report.max_difference < 0.2
+    assert report.is_strategy_stable

@@ -1,0 +1,19 @@
+"""Benchmark E-T1 — regenerate Table 1 (liquidations, liquidators, average profit)."""
+
+from repro.experiments import table1_overview
+
+
+def test_table1_overview(benchmark, records):
+    report = benchmark(table1_overview.compute, records)
+    print("\n" + table1_overview.render(report))
+    assert report.total_liquidations == len(records)
+    assert report.total_liquidators >= 1
+    assert report.total_profit_usd > 0
+    # The paper finds the average MakerDAO liquidator profit to be the
+    # largest of the four platforms (Table 1: 115.84K vs 10-43K USD).
+    by_platform = {row.platform: row for row in report.rows}
+    if "MakerDAO" in by_platform and "Aave V1" in by_platform and by_platform["Aave V1"].liquidators:
+        assert (
+            by_platform["MakerDAO"].average_profit_per_liquidator_usd
+            > by_platform["Aave V1"].average_profit_per_liquidator_usd
+        )

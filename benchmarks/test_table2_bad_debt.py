@@ -1,0 +1,15 @@
+"""Benchmark E-T2 — regenerate Table 2 (Type I/II bad debts)."""
+
+from repro.experiments import table2_bad_debt
+
+
+def test_table2_bad_debt(benchmark, scenario_result):
+    table = benchmark(table2_bad_debt.compute, scenario_result)
+    print("\n" + table2_bad_debt.render(table))
+    assert set(table) == {"Aave V2", "Compound", "dYdX"}
+    for entry in table.values():
+        # A higher assumed closing fee can only add Type II bad debts.
+        assert entry.type_ii_by_fee[10.0].type_ii_count <= entry.type_ii_by_fee[100.0].type_ii_count
+    # dYdX's insurance fund writes off under-collateralized positions, so its
+    # Type I column stays (close to) empty — as in the paper.
+    assert table["dYdX"].type_i_count <= table["Compound"].type_i_count + table["Aave V2"].type_i_count

@@ -1,0 +1,14 @@
+"""Benchmark E-T3 — regenerate Table 3 (unprofitable liquidation opportunities)."""
+
+from repro.experiments import table3_unprofitable
+
+
+def test_table3_unprofitable(benchmark, scenario_result):
+    table = benchmark(table3_unprofitable.compute, scenario_result)
+    print("\n" + table3_unprofitable.render(table))
+    assert set(table) == {"Aave V2", "Compound", "dYdX"}
+    for cells in table.values():
+        # A higher transaction fee can only add unprofitable opportunities.
+        assert cells[10.0].unprofitable_count <= cells[100.0].unprofitable_count
+        for cell in cells.values():
+            assert 0.0 <= cell.unprofitable_share <= 1.0

@@ -1,0 +1,15 @@
+"""Benchmark E-T4 — regenerate Table 4 (flash-loan usage for liquidations)."""
+
+from repro.experiments import table4_flash_loans
+
+
+def test_table4_flash_loans(benchmark, scenario_result):
+    report = benchmark(table4_flash_loans.compute, scenario_result)
+    print("\n" + table4_flash_loans.render(report))
+    assert report.total_flash_loans > 0
+    assert report.total_amount_usd > 0
+    # The paper finds dYdX flash loans dominating by volume thanks to their
+    # negligible fee; the shape check is that dYdX carries the largest share.
+    by_platform = report.by_flash_platform()
+    if "dYdX" in by_platform and len(by_platform) > 1:
+        assert by_platform["dYdX"] >= max(v for k, v in by_platform.items() if k != "dYdX")

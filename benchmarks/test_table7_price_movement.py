@@ -1,0 +1,15 @@
+"""Benchmark E-T7 — regenerate Table 7 (post-liquidation price movements)."""
+
+from repro.experiments import table7_price_movement
+
+
+def test_table7_price_movement(benchmark, scenario_result, records):
+    report = benchmark(table7_price_movement.compute, scenario_result, records)
+    print("\n" + table7_price_movement.render(report))
+    assert len(report.observations) > 0
+    counts = report.counts()
+    # At least three of the paper's seven movement patterns appear, and only
+    # a minority of liquidations end the window below the liquidation price
+    # (paper: 19.07 %).
+    assert len(counts) >= 3
+    assert 0.0 <= report.share_below_at_window_end <= 0.7

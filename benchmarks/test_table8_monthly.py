@@ -1,0 +1,14 @@
+"""Benchmark E-T8 — regenerate Table 8 (monthly DAI/ETH liquidation counts)."""
+
+from repro.experiments import table8_monthly
+
+
+def test_table8_monthly(benchmark, records):
+    counts = benchmark(table8_monthly.compute, records)
+    print("\n" + table8_monthly.render(counts))
+    assert counts
+    total = sum(value for months in counts.values() for value in months.values())
+    assert total > 0
+    # The crash month should be among the busiest for at least one platform.
+    busiest_months = {max(months, key=months.get) for months in counts.values() if months}
+    assert busiest_months

@@ -1,0 +1,85 @@
+"""Build a liquidation bot against the public protocol API.
+
+Demonstrates the workflow a fixed spread liquidator follows (Section 3.1):
+monitor positions, quote the profit of a liquidation call, check it against
+the transaction fee, and execute — optionally funding the repayment with a
+flash loan.  Everything runs on a hand-built mini world rather than the full
+scenario, so the script finishes in well under a second.
+
+    python examples/liquidation_bot.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chain import Blockchain, ChainConfig, LIQUIDATION_GAS, make_address
+from repro.flashloan import FlashLoanPool
+from repro.oracle import OracleConfig, PriceFeed, PriceOracle
+from repro.protocols import CompoundProtocol
+from repro.tokens import default_registry
+
+
+def main() -> None:
+    # --- build a tiny world: chain, oracle, Compound pool -----------------
+    registry = default_registry()
+    chain = Blockchain(ChainConfig(inception_block=12_000_000))
+    feed = PriceFeed(
+        start_block=12_000_000,
+        blocks_per_step=1,
+        series={"ETH": np.array([2_000.0]), "DAI": np.array([1.0]), "USDC": np.array([1.0])},
+    )
+    oracle = PriceOracle(chain, feed, OracleConfig(name="compound-open-oracle"))
+    oracle.update_from_feed()
+    compound = CompoundProtocol(chain, oracle, registry, markets={"ETH": 0.75, "DAI": 0.75, "USDC": 0.75})
+
+    # Seed pool liquidity and open a borrower position.
+    lender, borrower, bot = make_address("lender"), make_address("borrower"), make_address("bot")
+    registry.get("DAI").mint(lender, 1_000_000.0)
+    compound.supply_liquidity(lender, "DAI", 1_000_000.0)
+    registry.get("ETH").mint(borrower, 10.0)
+    compound.deposit(borrower, "ETH", 10.0)
+    compound.borrow(borrower, "DAI", 14_500.0)
+    print(f"Borrower health factor at 2,000 USD/ETH: {compound.health_factor(borrower):.3f}")
+
+    # --- the price drops and the bot spots an opportunity -----------------
+    oracle.post_price("ETH", 1_850.0)
+    print(f"Borrower health factor at 1,850 USD/ETH: {compound.health_factor(borrower):.3f}")
+    for position in compound.liquidatable_positions():
+        debt_symbol, collateral_symbol = compound.best_liquidation_pair(position.owner)
+        repay = compound.max_repay_amount(position.owner, debt_symbol)
+        quote = compound.quote_liquidation_call(position.owner, debt_symbol, collateral_symbol, repay)
+        fee_usd = chain.gas_market.base_gas_price_wei * LIQUIDATION_GAS / 1e18 * oracle.price("ETH")
+        print(
+            f"\nOpportunity: repay {quote.repay_amount:,.0f} {debt_symbol} "
+            f"→ seize {quote.collateral_amount:.4f} {collateral_symbol} "
+            f"(profit {quote.profit_usd:,.0f} USD, tx fee ≈ {fee_usd:.2f} USD)"
+        )
+        if quote.profit_usd <= fee_usd:
+            print("  not profitable, skipping")
+            continue
+
+        # Fund the repayment with a flash loan, liquidate, repay the loan.
+        dai = registry.get("DAI")
+        pool = FlashLoanPool(platform="dYdX", token=dai, fee_rate=0.0, chain=chain)
+        dai.mint(lender, 100_000.0)
+        pool.fund(lender, 100_000.0)
+
+        def callback(amount: float, fee: float) -> None:
+            result = compound.liquidation_call(
+                bot, position.owner, debt_symbol, collateral_symbol, repay, used_flash_loan=True
+            )
+            # Sell just enough seized ETH at the oracle price to repay the loan.
+            eth = registry.get(collateral_symbol)
+            needed_eth = (amount + fee) / oracle.price(collateral_symbol)
+            eth.burn(bot, needed_eth)
+            dai.mint(bot, amount + fee)
+            print(f"  executed: received {result.quote.collateral_amount:.4f} {collateral_symbol}")
+
+        pool.flash_loan(bot, repay, callback, purpose="liquidation:Compound")
+        print(f"  bot ETH balance after liquidation: {registry.get('ETH').balance_of(bot):.4f}")
+        print(f"  borrower health factor after liquidation: {compound.health_factor(position.owner):.3f}")
+
+
+if __name__ == "__main__":
+    main()

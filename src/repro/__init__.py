@@ -1,0 +1,30 @@
+"""repro — a reproduction of "An Empirical Study of DeFi Liquidations" (IMC 2021).
+
+The package is organised in layers:
+
+* :mod:`repro.core` — the paper's financial model: health factors, fixed
+  spread and auction liquidation mechanics, the optimal liquidation strategy,
+  sensitivity (Algorithm 1), bad debt, and the mechanism comparison metric.
+* Substrates — :mod:`repro.chain`, :mod:`repro.tokens`, :mod:`repro.oracle`,
+  :mod:`repro.amm`, :mod:`repro.flashloan`: the Ethereum-like environment the
+  paper measures, rebuilt as a deterministic simulator.
+* :mod:`repro.protocols` — Aave V1/V2, Compound, dYdX and MakerDAO.
+* :mod:`repro.agents` and :mod:`repro.simulation` — the agent-based scenario
+  generator producing the two-year study window.
+* :mod:`repro.analytics` — the measurement pipeline (the paper's "custom
+  client").
+* :mod:`repro.experiments` — one harness per table and figure of the paper.
+
+Quickstart::
+
+    from repro.simulation import ScenarioConfig, run_scenario
+    from repro.analytics import extract_liquidations, profit_report
+
+    result = run_scenario(ScenarioConfig.small())
+    records = extract_liquidations(result)
+    print(profit_report(records))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

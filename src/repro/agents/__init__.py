@@ -1,0 +1,21 @@
+"""Simulation agents: borrowers, lenders, liquidation bots, keepers, arbitrageurs."""
+
+from .arbitrageur import ArbitrageurAgent
+from .base import Agent, spawn_rngs
+from .borrower import BorrowerAgent, BorrowerProfile
+from .keeper import AuctionKeeperAgent, KeeperProfile
+from .lender import LenderAgent
+from .liquidator import LiquidatorAgent, LiquidatorProfile
+
+__all__ = [
+    "Agent",
+    "ArbitrageurAgent",
+    "AuctionKeeperAgent",
+    "BorrowerAgent",
+    "BorrowerProfile",
+    "KeeperProfile",
+    "LenderAgent",
+    "LiquidatorAgent",
+    "LiquidatorProfile",
+    "spawn_rngs",
+]

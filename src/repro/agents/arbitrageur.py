@@ -1,0 +1,65 @@
+"""Arbitrageur agent keeping AMM pools aligned with the oracle price.
+
+The constant-product pools (Section 2.2.1's on-chain oracles) would drift
+arbitrarily far from the market price without arbitrage.  This agent performs
+the canonical arbitrage trade each step: it computes the reserve ratio that
+matches the external (oracle) price and trades the pool to that point,
+pocketing the difference.  Its capital is minted on demand — it abstracts the
+entire external arbitrage market rather than a single trader.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..amm.pool import ConstantProductPool
+from .base import Agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.engine import SimulationEngine
+
+
+class ArbitrageurAgent(Agent):
+    """Trades every registered AMM pool back towards the oracle price."""
+
+    def __init__(self, label: str, rng: np.random.Generator, tolerance: float = 0.005) -> None:
+        super().__init__(label, rng)
+        self.tolerance = tolerance
+
+    def act(self, engine: "SimulationEngine") -> None:
+        """Re-align every pool whose spot price deviates beyond the tolerance."""
+        for pool in engine.amm.pools.values():
+            self._arbitrage_pool(engine, pool)
+
+    def _arbitrage_pool(self, engine: "SimulationEngine", pool: ConstantProductPool) -> None:
+        reserve_a = pool.reserve_a
+        reserve_b = pool.reserve_b
+        if reserve_a <= 0 or reserve_b <= 0:
+            return
+        price_a = engine.oracle.price(pool.token_a.symbol)
+        price_b = engine.oracle.price(pool.token_b.symbol)
+        if price_a <= 0 or price_b <= 0:
+            return
+        # Target price of token_a denominated in token_b.
+        target = price_a / price_b
+        spot = reserve_b / reserve_a
+        if abs(spot - target) / target < self.tolerance:
+            return
+        invariant = reserve_a * reserve_b
+        target_reserve_a = math.sqrt(invariant / target)
+        if target_reserve_a > reserve_a:
+            # Pool should hold more of token_a: sell token_a into the pool.
+            amount_in = target_reserve_a - reserve_a
+            token_in = pool.token_a
+        else:
+            # Pool should hold more of token_b: sell token_b into the pool.
+            target_reserve_b = math.sqrt(invariant * target)
+            amount_in = target_reserve_b - reserve_b
+            token_in = pool.token_b
+        if amount_in <= 0:
+            return
+        token_in.mint(self.address, amount_in)
+        pool.swap(self.address, token_in.symbol, amount_in)

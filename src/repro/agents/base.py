@@ -1,0 +1,43 @@
+"""Agent framework for the scenario simulation.
+
+Agents are the behavioural counterparts of the paper's measured populations:
+borrowers and lenders interacting with the pools, liquidation bots competing
+on gas, and MakerDAO auction keepers.  Each agent owns an address, a private
+random stream (spawned from the scenario seed so runs are reproducible), and
+an :meth:`Agent.act` hook called once per simulation step with the engine as
+context.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..chain.types import Address, make_address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.engine import SimulationEngine
+
+
+class Agent(abc.ABC):
+    """Base class of every simulated actor."""
+
+    def __init__(self, label: str, rng: np.random.Generator) -> None:
+        self.address: Address = make_address(label)
+        self.label = label
+        self.rng = rng
+
+    @abc.abstractmethod
+    def act(self, engine: "SimulationEngine") -> None:
+        """Perform this step's actions against the engine."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.label}>"
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``."""
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,244 @@
+"""MakerDAO auction keepers.
+
+Keepers perform the three non-atomic steps of an auction liquidation
+(Figure 2): ``bite`` unsafe vaults, place ``tend`` / ``dent`` bids, and
+``deal`` terminated auctions.  Their behavioural parameters reproduce the
+auction statistics of Section 4.3.3 (≈ 2 bidders and ≈ 2.6 bids per auction,
+early first bids) and the March 2020 incident: keepers estimate gas from the
+*uncongested* price level, so when the network congests their bids stop
+landing and the few keepers that remain win auctions at a fraction of the
+collateral value — producing both the profit outlier of Figure 5 and the
+liquidator losses of Section 4.3.1 when prices keep moving during auctions.
+
+Bid amounts are computed *at execution time* (inside the transaction action),
+so that several keepers competing within the same block stride correctly bid
+against each other's just-landed bids rather than against a stale snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..chain.transaction import TransactionReverted, TxKind
+from ..chain.types import AUCTION_BID_GAS
+from ..core.auction import AuctionPhase, TendDentAuction
+from ..protocols.makerdao import MakerDAOProtocol
+from .base import Agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.engine import SimulationEngine
+
+
+@dataclass
+class KeeperProfile:
+    """Behavioural parameters of one auction keeper."""
+
+    detection_probability: float = 0.5
+    profit_margin: float = 0.05
+    first_bid_fraction: float = 0.5
+    gas_multiplier_mean: float = 1.2
+    gas_multiplier_sigma: float = 0.3
+    initial_dai: float = 20_000_000.0
+    offline_during_congestion: bool = True
+    uses_market_gas: bool = False
+    finalize_delay_probability: float = 0.02
+
+
+class AuctionKeeperAgent(Agent):
+    """A keeper bot operating MakerDAO's tend-dent auctions."""
+
+    def __init__(
+        self,
+        label: str,
+        rng: np.random.Generator,
+        makerdao: MakerDAOProtocol,
+        profile: KeeperProfile | None = None,
+    ) -> None:
+        super().__init__(label, rng)
+        self.makerdao = makerdao
+        self.profile = profile or KeeperProfile()
+        self.funded = False
+
+    # ------------------------------------------------------------------ #
+    # Funding
+    # ------------------------------------------------------------------ #
+    def _ensure_funding(self, engine: "SimulationEngine") -> None:
+        """Mint the keeper's DAI bidding capital on first use."""
+        if self.funded:
+            return
+        engine.registry.ensure("DAI").mint(self.address, self.profile.initial_dai)
+        self.funded = True
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def act(self, engine: "SimulationEngine") -> None:
+        """Bite unsafe vaults, bid on open auctions, finalize expired ones."""
+        if not engine.is_active(self.makerdao):
+            return
+        congested = engine.chain.gas_market.is_congested
+        if congested and self.profile.offline_during_congestion:
+            return
+        self._ensure_funding(engine)
+        self._bite_unsafe_vaults(engine)
+        for auction in self.makerdao.open_auctions():
+            if auction.is_expired(engine.chain.current_block):
+                self._maybe_finalize(engine, auction)
+            else:
+                self._maybe_bid(engine, auction)
+
+    # ------------------------------------------------------------------ #
+    # Bite
+    # ------------------------------------------------------------------ #
+    def _bite_unsafe_vaults(self, engine: "SimulationEngine") -> None:
+        """Start auctions for unsafe vaults this keeper notices."""
+        for borrower in engine.makerdao_opportunities():
+            if self.rng.random() > self.profile.detection_probability:
+                continue
+
+            def action(borrower=borrower) -> object:
+                return self.makerdao.bite(self.address, borrower)
+
+            engine.chain.submit_call(
+                sender=self.address,
+                action=action,
+                gas_price=self._choose_gas_price(engine),
+                gas_limit=AUCTION_BID_GAS,
+                kind=TxKind.AUCTION_INITIATE,
+                metadata={"platform": self.makerdao.name, "borrower": borrower.value, "keeper": self.address.value},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Bidding
+    # ------------------------------------------------------------------ #
+    def _maybe_bid(self, engine: "SimulationEngine", auction: TendDentAuction) -> None:
+        """Submit a bid transaction whose exact amount is decided at execution."""
+        if self.rng.random() > self.profile.detection_probability:
+            return
+        if auction.winning_bidder == self.address:
+            return
+        aggressiveness = float(self.rng.uniform(0.6, 0.98))
+
+        def action(auction_id=auction.auction_id, aggressiveness=aggressiveness) -> object:
+            return self._execute_bid(engine, auction_id, aggressiveness)
+
+        engine.chain.submit_call(
+            sender=self.address,
+            action=action,
+            gas_price=self._choose_gas_price(engine),
+            gas_limit=AUCTION_BID_GAS,
+            kind=TxKind.AUCTION_BID,
+            metadata={
+                "platform": self.makerdao.name,
+                "auction_id": auction.auction_id,
+                "keeper": self.address.value,
+            },
+        )
+
+    def _execute_bid(self, engine: "SimulationEngine", auction_id: int, aggressiveness: float) -> object:
+        """Compute and place the next rational bid against the live auction state."""
+        auction = self.makerdao.auction(auction_id)
+        if auction.phase is AuctionPhase.FINALIZED:
+            raise TransactionReverted("auction already finalized")
+        if auction.winning_bidder == self.address:
+            raise TransactionReverted("keeper already holds the winning bid")
+        prices = self.makerdao.prices()
+        collateral_price = prices.get(auction.collateral_symbol, 0.0)
+        dai_price = prices.get("DAI", 1.0)
+        if collateral_price <= 0 or dai_price <= 0:
+            raise TransactionReverted("no price available for the auction pair")
+        collateral_value_usd = auction.collateral_lot * collateral_price
+        if auction.phase is AuctionPhase.TEND:
+            # The most DAI this keeper is willing to commit for the full lot.
+            max_tend = collateral_value_usd / (1.0 + self.profile.profit_margin) / dai_price
+            current = auction.current_debt_bid
+            minimum_next = current * (1.0 + self.makerdao.auction_config.min_bid_increase) if current > 0 else 0.0
+            cap = min(max_tend, auction.debt_target)
+            if cap <= minimum_next:
+                raise TransactionReverted("auction price already exceeds the keeper's margin")
+            if current <= 0:
+                # Opening bids are low-ball: without competition (e.g. during
+                # the March 2020 congestion) the auction settles here, which
+                # is what produces the "negligible cost" keeper wins.
+                bid = cap * self.profile.first_bid_fraction * aggressiveness
+            else:
+                bid = cap
+            bid = max(bid, minimum_next)
+            return self.makerdao.tend(self.address, auction_id, bid)
+        # Dent phase: the least collateral this keeper will accept for the debt.
+        debt_value_usd = auction.debt_target * dai_price
+        floor = debt_value_usd * (1.0 + self.profile.profit_margin) / collateral_price
+        maximum = auction.current_collateral_bid * (1.0 - self.makerdao.auction_config.min_dent_decrease)
+        if maximum <= floor:
+            raise TransactionReverted("dent price already exceeds the keeper's margin")
+        bid = max(floor, maximum * aggressiveness)
+        bid = min(bid, maximum)
+        return self.makerdao.dent(self.address, auction_id, bid)
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def _maybe_finalize(self, engine: "SimulationEngine", auction: TendDentAuction) -> None:
+        """Call ``deal`` on an expired auction (the winner usually does it)."""
+        winner = auction.winning_bidder
+        if winner is not None and winner != self.address:
+            return
+        if self.rng.random() < self.profile.finalize_delay_probability:
+            # Occasionally a winner forgets to finalize for a long time,
+            # producing Figure 7's long-duration outliers.
+            return
+
+        def action(auction_id=auction.auction_id) -> object:
+            settlement = self.makerdao.deal(self.address, auction_id)
+            self._realise_proceeds(engine, settlement)
+            return settlement
+
+        engine.chain.submit_call(
+            sender=self.address,
+            action=action,
+            gas_price=self._choose_gas_price(engine),
+            gas_limit=AUCTION_BID_GAS,
+            kind=TxKind.AUCTION_FINALIZE,
+            metadata={
+                "platform": self.makerdao.name,
+                "auction_id": auction.auction_id,
+                "keeper": self.address.value,
+            },
+        )
+
+    def _realise_proceeds(self, engine: "SimulationEngine", settlement) -> None:
+        """Sell won collateral back into DAI so capital is available for new bids."""
+        if settlement.winner != self.address or settlement.collateral_won <= 0:
+            return
+        auction = self.makerdao.auction(settlement.auction_id)
+        symbol = auction.collateral_symbol
+        if symbol == "DAI":
+            return
+        token = engine.registry.get(symbol)
+        balance = token.balance_of(self.address)
+        amount = min(balance, settlement.collateral_won)
+        if amount > 0:
+            engine.market_maker.convert(self.address, symbol, "DAI", amount)
+
+    # ------------------------------------------------------------------ #
+    # Gas bidding
+    # ------------------------------------------------------------------ #
+    def _choose_gas_price(self, engine: "SimulationEngine") -> int:
+        """Keepers estimate gas from the *uncongested* price level.
+
+        This is the crucial failure mode of March 2020: when the network
+        congests, the keepers' estimates lag the market and their bids are
+        priced out of blocks.
+        """
+        market = engine.chain.gas_market
+        if self.profile.uses_market_gas:
+            reference_gwei = market.base_gas_price_gwei
+        else:
+            reference_gwei = market.uncongested_gas_price_gwei
+        multiplier = float(
+            self.rng.lognormal(mean=np.log(self.profile.gas_multiplier_mean), sigma=self.profile.gas_multiplier_sigma)
+        )
+        return max(int(reference_gwei * 1e9 * multiplier), 1)

@@ -1,0 +1,56 @@
+"""Lender agents: passive liquidity providers.
+
+Lenders deposit assets into the pool-based protocols so that borrowers have
+something to borrow (Figure 1's "Lenders" arrow).  Their behaviour is simple
+— provide a configured amount of liquidity once the protocol is live — but
+modelling them separately keeps the pool-utilization (and therefore interest
+rate) mechanics honest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..protocols.base import LendingProtocol, ProtocolError
+from .base import Agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.engine import SimulationEngine
+
+
+class LenderAgent(Agent):
+    """Supplies pool liquidity in one or more assets."""
+
+    def __init__(
+        self,
+        label: str,
+        rng: np.random.Generator,
+        protocol: LendingProtocol,
+        supplies_usd: dict[str, float],
+    ) -> None:
+        super().__init__(label, rng)
+        self.protocol = protocol
+        self.supplies_usd = supplies_usd
+        self.supplied = False
+
+    def act(self, engine: "SimulationEngine") -> None:
+        """Deposit the configured liquidity once the protocol is active."""
+        if self.supplied or not engine.is_active(self.protocol):
+            return
+        prices = self.protocol.prices()
+        for symbol, usd_value in self.supplies_usd.items():
+            if symbol not in self.protocol.markets:
+                continue
+            price = prices.get(symbol, self.protocol.oracle.price(symbol))
+            if price <= 0:
+                continue
+            amount = usd_value / price
+            token = engine.registry.ensure(symbol)
+            token.mint(self.address, amount)
+            try:
+                self.protocol.supply_liquidity(self.address, symbol, amount)
+            except ProtocolError:
+                continue
+        self.supplied = True

@@ -1,0 +1,6 @@
+"""Automated market maker substrate (Uniswap-style constant product pools)."""
+
+from .pool import ConstantProductPool, SwapError
+from .router import AmmRouter
+
+__all__ = ["AmmRouter", "ConstantProductPool", "SwapError"]

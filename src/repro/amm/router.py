@@ -1,0 +1,52 @@
+"""AMM router: pool lookup and the AMM-derived on-chain price oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.types import Address
+from .pool import ConstantProductPool, SwapError
+
+
+@dataclass
+class AmmRouter:
+    """Registry of constant-product pools keyed by unordered symbol pair."""
+
+    pools: dict[frozenset[str], ConstantProductPool] = field(default_factory=dict)
+
+    def register(self, pool: ConstantProductPool) -> ConstantProductPool:
+        """Add a pool to the router."""
+        key = frozenset({pool.token_a.symbol, pool.token_b.symbol})
+        self.pools[key] = pool
+        return pool
+
+    def pool_for(self, symbol_a: str, symbol_b: str) -> ConstantProductPool:
+        """Find the pool trading the given pair."""
+        key = frozenset({symbol_a.upper(), symbol_b.upper()})
+        try:
+            return self.pools[key]
+        except KeyError as exc:
+            raise SwapError(f"no pool for {symbol_a}/{symbol_b}") from exc
+
+    def has_pool(self, symbol_a: str, symbol_b: str) -> bool:
+        """Whether a pool exists for the pair."""
+        return frozenset({symbol_a.upper(), symbol_b.upper()}) in self.pools
+
+    def swap(self, trader: Address, token_in: str, token_out: str, amount_in: float) -> float:
+        """Swap through the direct pool for the pair."""
+        pool = self.pool_for(token_in, token_out)
+        return pool.swap(trader, token_in, amount_in)
+
+    def quote(self, token_in: str, token_out: str, amount_in: float) -> float:
+        """Quote an exact-input swap without executing it."""
+        pool = self.pool_for(token_in, token_out)
+        return pool.get_amount_out(token_in, amount_in)
+
+    def onchain_price(self, symbol: str, quote_symbol: str) -> float:
+        """AMM-implied price of ``symbol`` denominated in ``quote_symbol``.
+
+        This is the manipulable on-chain oracle of Section 2.2.1: anyone who
+        trades against the pool moves this price within the same block.
+        """
+        pool = self.pool_for(symbol, quote_symbol)
+        return pool.spot_price(symbol)

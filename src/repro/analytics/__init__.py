@@ -1,0 +1,97 @@
+"""Measurement pipeline: the reproduction of the paper's "custom client"."""
+
+from .auction_analysis import AuctionConfigChange, AuctionObservation, AuctionReport, auction_report
+from .bad_debt_analysis import DEFAULT_FEES_USD as BAD_DEBT_FEES_USD
+from .bad_debt_analysis import PlatformBadDebt, bad_debt_table, platform_bad_debt
+from .common import (
+    FIXED_SPREAD_LIQUIDATION_EVENTS,
+    PLATFORM_ORDER,
+    month_of_block,
+    month_of_timestamp,
+    sort_months,
+    usd,
+)
+from .flashloan_analysis import FlashLoanReport, FlashLoanUsageRow, flash_loan_report
+from .gas_analysis import GasPoint, GasReport, gas_report, liquidation_fee_statistics
+from .monthly import (
+    AccumulativeSeries,
+    accumulative_collateral_series,
+    monthly_liquidation_counts,
+    monthly_profit_by_platform,
+    monthly_table,
+    months_covered,
+    peak_month,
+    total_liquidated_collateral_usd,
+)
+from .price_movement import (
+    MovementObservation,
+    PriceMovement,
+    PriceMovementReport,
+    classify_path,
+    price_movement_report,
+)
+from .profit_volume import ProfitVolumeReport, monthly_collateral_volume, profit_volume_report
+from .profits import LiquidatorSummary, PlatformProfitRow, ProfitReport, profit_report
+from .records import LiquidationRecord, extract_liquidations, filter_market, records_by_platform
+from .reporting import format_section, format_table
+from .sensitivity_analysis import PlatformSensitivity, platform_sensitivity, sensitivity_figure
+from .stablecoin_analysis import StablecoinStabilityReport, stablecoin_stability
+from .unprofitable_analysis import UnprofitableCell, platform_unprofitable, unprofitable_table
+
+__all__ = [
+    "AccumulativeSeries",
+    "AuctionConfigChange",
+    "AuctionObservation",
+    "AuctionReport",
+    "BAD_DEBT_FEES_USD",
+    "FIXED_SPREAD_LIQUIDATION_EVENTS",
+    "FlashLoanReport",
+    "FlashLoanUsageRow",
+    "GasPoint",
+    "GasReport",
+    "LiquidationRecord",
+    "LiquidatorSummary",
+    "MovementObservation",
+    "PLATFORM_ORDER",
+    "PlatformBadDebt",
+    "PlatformProfitRow",
+    "PlatformSensitivity",
+    "PriceMovement",
+    "PriceMovementReport",
+    "ProfitReport",
+    "ProfitVolumeReport",
+    "StablecoinStabilityReport",
+    "UnprofitableCell",
+    "accumulative_collateral_series",
+    "auction_report",
+    "bad_debt_table",
+    "classify_path",
+    "extract_liquidations",
+    "filter_market",
+    "flash_loan_report",
+    "format_section",
+    "format_table",
+    "gas_report",
+    "liquidation_fee_statistics",
+    "month_of_block",
+    "month_of_timestamp",
+    "monthly_collateral_volume",
+    "monthly_liquidation_counts",
+    "monthly_profit_by_platform",
+    "monthly_table",
+    "months_covered",
+    "peak_month",
+    "platform_bad_debt",
+    "platform_sensitivity",
+    "platform_unprofitable",
+    "price_movement_report",
+    "profit_report",
+    "profit_volume_report",
+    "records_by_platform",
+    "sensitivity_figure",
+    "sort_months",
+    "stablecoin_stability",
+    "total_liquidated_collateral_usd",
+    "unprofitable_table",
+    "usd",
+]

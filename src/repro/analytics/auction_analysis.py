@@ -1,0 +1,162 @@
+"""MakerDAO auction analysis (Section 4.3.3, Figure 7).
+
+Measures, over every finalized auction with at least one bid: the duration
+(initiation → finalization, in hours), the tend/dent termination split, the
+number of bids and bidders, the delay of the first bid and the intervals
+between bids — plus the configured auction length / bid duration over time
+(the step visible in Figure 7 after the March 2020 incident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chain.types import blocks_to_hours
+from ..simulation.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class AuctionObservation:
+    """One finalized auction, as measured from the ``Deal`` event."""
+
+    auction_id: int
+    block_number: int
+    duration_hours: float
+    n_bids: int
+    n_tend_bids: int
+    n_dent_bids: int
+    n_bidders: int
+    terminated_in_tend: bool
+    first_bid_delay_minutes: float | None
+    bid_interval_minutes: tuple[float, ...]
+    had_winner: bool
+
+
+@dataclass(frozen=True)
+class AuctionConfigChange:
+    """A configured-parameter change point (Figure 7's dashed lines)."""
+
+    block_number: int
+    auction_length_hours: float
+    bid_duration_hours: float
+
+
+@dataclass(frozen=True)
+class AuctionReport:
+    """Aggregate auction statistics (Section 4.3.3)."""
+
+    observations: tuple[AuctionObservation, ...]
+    config_changes: tuple[AuctionConfigChange, ...]
+
+    @property
+    def settled_auctions(self) -> int:
+        """Number of finalized auctions that actually had a winner."""
+        return sum(1 for observation in self.observations if observation.had_winner)
+
+    @property
+    def tend_terminations(self) -> int:
+        """Auctions that never reached the dent phase."""
+        return sum(1 for observation in self.observations if observation.had_winner and observation.terminated_in_tend)
+
+    @property
+    def dent_terminations(self) -> int:
+        """Auctions that terminated in the dent phase."""
+        return sum(
+            1 for observation in self.observations if observation.had_winner and not observation.terminated_in_tend
+        )
+
+    def _winner_values(self, getter) -> list[float]:
+        return [getter(observation) for observation in self.observations if observation.had_winner]
+
+    @property
+    def mean_bids_per_auction(self) -> float:
+        """Average number of bids placed per settled auction (paper: 2.63)."""
+        values = self._winner_values(lambda observation: observation.n_bids)
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_bidders_per_auction(self) -> float:
+        """Average number of distinct bidders per settled auction (paper: 1.99)."""
+        values = self._winner_values(lambda observation: observation.n_bidders)
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_duration_hours(self) -> float:
+        """Average auction duration in hours (paper: 2.06 ± 6.43)."""
+        values = self._winner_values(lambda observation: observation.duration_hours)
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def std_duration_hours(self) -> float:
+        """Standard deviation of the auction duration in hours."""
+        values = self._winner_values(lambda observation: observation.duration_hours)
+        return float(np.std(values)) if values else 0.0
+
+    @property
+    def max_duration_hours(self) -> float:
+        """The longest observed auction (paper: 346.67 hours)."""
+        values = self._winner_values(lambda observation: observation.duration_hours)
+        return float(np.max(values)) if values else 0.0
+
+    @property
+    def mean_first_bid_delay_minutes(self) -> float:
+        """Average delay of the first bid after initiation (paper: 4.12 min)."""
+        values = [
+            observation.first_bid_delay_minutes
+            for observation in self.observations
+            if observation.had_winner and observation.first_bid_delay_minutes is not None
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_bid_interval_minutes(self) -> float:
+        """Average interval between consecutive bids (paper: 38.97 min)."""
+        values = [
+            interval
+            for observation in self.observations
+            if observation.had_winner
+            for interval in observation.bid_interval_minutes
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def auctions_with_multiple_bids(self) -> int:
+        """Auctions terminating with more than one bid placed (paper: 4,537)."""
+        return sum(1 for observation in self.observations if observation.had_winner and observation.n_bids > 1)
+
+
+def auction_report(result: SimulationResult) -> AuctionReport:
+    """Build the Figure 7 / Section 4.3.3 dataset from ``Deal`` events."""
+    chain = result.chain
+    stride_minutes = chain.config.seconds_per_block / 60.0
+    observations: list[AuctionObservation] = []
+    for event in chain.events.by_name("Deal"):
+        data = event.data
+        first_delay = data.get("first_bid_delay_blocks")
+        intervals = data.get("bid_interval_blocks") or []
+        observations.append(
+            AuctionObservation(
+                auction_id=data.get("auction_id", -1),
+                block_number=event.block_number,
+                duration_hours=blocks_to_hours(data.get("duration_blocks", 0)),
+                n_bids=data.get("n_bids", 0),
+                n_tend_bids=data.get("n_tend_bids", 0),
+                n_dent_bids=data.get("n_dent_bids", 0),
+                n_bidders=data.get("n_bidders", 0),
+                terminated_in_tend=bool(data.get("terminated_in_tend", True)),
+                first_bid_delay_minutes=None if first_delay is None else first_delay * stride_minutes,
+                bid_interval_minutes=tuple(interval * stride_minutes for interval in intervals),
+                had_winner=bool(data.get("winner")),
+            )
+        )
+    changes = [
+        AuctionConfigChange(
+            block_number=event.block_number,
+            auction_length_hours=blocks_to_hours(event.data["auction_length_blocks"]),
+            bid_duration_hours=blocks_to_hours(event.data["bid_duration_blocks"]),
+        )
+        for event in chain.events.by_name("AuctionParamsChanged")
+    ]
+    return AuctionReport(observations=tuple(observations), config_changes=tuple(changes))

@@ -1,0 +1,38 @@
+"""Shared helpers for the analytics ("custom client") layer."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+#: The four fixed-spread liquidation event signatures plus MakerDAO's Deal.
+FIXED_SPREAD_LIQUIDATION_EVENTS = ("LiquidationCall", "LiquidateBorrow", "LogLiquidate")
+
+#: Platform display names in the order the paper's tables use.
+PLATFORM_ORDER = ("Aave V1", "Aave V2", "Compound", "dYdX", "MakerDAO")
+
+
+def month_of_timestamp(timestamp: int) -> str:
+    """Format a unix timestamp as the ``YYYY-MM`` strings used by Figures 5/9."""
+    return datetime.fromtimestamp(timestamp, tz=timezone.utc).strftime("%Y-%m")
+
+
+def month_of_block(chain, block_number: int) -> str:
+    """The ``YYYY-MM`` month in which ``block_number`` falls."""
+    return month_of_timestamp(chain.timestamp_of_block(block_number))
+
+
+def sort_months(months) -> list[str]:
+    """Sort ``YYYY-MM`` strings chronologically."""
+    return sorted(months)
+
+
+def usd(value: float) -> str:
+    """Compact USD formatting used by the table renderers."""
+    magnitude = abs(value)
+    if magnitude >= 1e9:
+        return f"{value / 1e9:.2f}B USD"
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.2f}M USD"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.2f}K USD"
+    return f"{value:.2f} USD"

@@ -1,0 +1,117 @@
+"""Time-series aggregations: Figures 4 and 5, Table 8.
+
+* Figure 4 — accumulative collateral sold through liquidation, per platform,
+  as a function of block height.
+* Figure 5 — monthly accumulated liquidator profit per platform (with the
+  March 2020 MakerDAO outlier and the November 2020 Compound outlier).
+* Table 8 — number of monthly liquidations restricted to the DAI-debt /
+  ETH-collateral market (the input of Figure 9's comparison).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .common import sort_months
+from .records import LiquidationRecord, filter_market
+
+
+@dataclass(frozen=True)
+class AccumulativeSeries:
+    """A per-platform cumulative series over block heights (Figure 4)."""
+
+    platform: str
+    blocks: tuple[int, ...]
+    cumulative_collateral_usd: tuple[float, ...]
+
+    @property
+    def final_value_usd(self) -> float:
+        """The cumulative liquidated collateral at the end of the window."""
+        return self.cumulative_collateral_usd[-1] if self.cumulative_collateral_usd else 0.0
+
+
+def accumulative_collateral_series(records: Iterable[LiquidationRecord]) -> dict[str, AccumulativeSeries]:
+    """Figure 4: cumulative liquidated collateral per platform."""
+    by_platform: dict[str, list[LiquidationRecord]] = defaultdict(list)
+    for record in records:
+        by_platform[record.platform].append(record)
+    series: dict[str, AccumulativeSeries] = {}
+    for platform, platform_records in by_platform.items():
+        platform_records.sort(key=lambda record: record.block_number)
+        blocks: list[int] = []
+        cumulative: list[float] = []
+        running = 0.0
+        for record in platform_records:
+            running += record.collateral_usd
+            blocks.append(record.block_number)
+            cumulative.append(running)
+        series[platform] = AccumulativeSeries(
+            platform=platform,
+            blocks=tuple(blocks),
+            cumulative_collateral_usd=tuple(cumulative),
+        )
+    return series
+
+
+def total_liquidated_collateral_usd(records: Iterable[LiquidationRecord]) -> float:
+    """The paper's headline 807.46 M USD figure: total collateral sold."""
+    return sum(record.collateral_usd for record in records)
+
+
+def monthly_profit_by_platform(records: Iterable[LiquidationRecord]) -> dict[str, dict[str, float]]:
+    """Figure 5: ``{platform: {"YYYY-MM": profit_usd}}``."""
+    profits: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for record in records:
+        profits[record.platform][record.month] += record.profit_usd
+    return {platform: dict(months) for platform, months in profits.items()}
+
+
+def monthly_liquidation_counts(
+    records: Iterable[LiquidationRecord],
+    debt_symbol: str | None = None,
+    collateral_symbol: str | None = None,
+) -> dict[str, dict[str, int]]:
+    """Monthly liquidation counts per platform, optionally market-restricted.
+
+    With ``debt_symbol="DAI"`` and ``collateral_symbol="ETH"`` this is
+    Table 8.
+    """
+    records = list(records)
+    if debt_symbol is not None and collateral_symbol is not None:
+        records = filter_market(records, debt_symbol, collateral_symbol)
+    counts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for record in records:
+        counts[record.platform][record.month] += 1
+    return {platform: dict(months) for platform, months in counts.items()}
+
+
+def peak_month(monthly: dict[str, float]) -> tuple[str, float] | None:
+    """The month with the highest value in a ``{month: value}`` mapping."""
+    if not monthly:
+        return None
+    month = max(monthly, key=monthly.get)
+    return month, monthly[month]
+
+
+def months_covered(records: Iterable[LiquidationRecord]) -> list[str]:
+    """Chronologically sorted list of months with at least one liquidation."""
+    return sort_months({record.month for record in records})
+
+
+def monthly_table(
+    counts: dict[str, dict[str, int]],
+    platforms: Sequence[str] | None = None,
+) -> list[dict[str, object]]:
+    """Flatten monthly counts into Table 8-style rows (one dict per month)."""
+    if platforms is None:
+        platforms = sorted(counts)
+    months = sort_months({month for platform_counts in counts.values() for month in platform_counts})
+    rows: list[dict[str, object]] = []
+    for month in months:
+        row: dict[str, object] = {"month": month}
+        for platform in platforms:
+            row[platform] = counts.get(platform, {}).get(month, 0)
+        rows.append(row)
+    return rows

@@ -1,0 +1,119 @@
+"""Liquidator profit & participation analysis (Section 4.3.1, Table 1).
+
+Computes, per platform: the number of liquidations, the number of distinct
+liquidator addresses and the liquidators' average profit — plus the overall
+totals, the most active / most profitable liquidators and the count of
+unprofitable (auction) liquidations the paper highlights.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from .common import PLATFORM_ORDER
+from .records import LiquidationRecord
+
+
+@dataclass(frozen=True)
+class PlatformProfitRow:
+    """One row of Table 1."""
+
+    platform: str
+    liquidations: int
+    liquidators: int
+    total_profit_usd: float
+
+    @property
+    def average_profit_per_liquidator_usd(self) -> float:
+        """Table 1's "Average Profit" column (profit per liquidator address)."""
+        if self.liquidators == 0:
+            return 0.0
+        return self.total_profit_usd / self.liquidators
+
+
+@dataclass(frozen=True)
+class LiquidatorSummary:
+    """Aggregate statistics of a single liquidator address."""
+
+    address: str
+    liquidations: int
+    total_profit_usd: float
+
+
+@dataclass(frozen=True)
+class ProfitReport:
+    """The full Section 4.3.1 profit analysis."""
+
+    rows: tuple[PlatformProfitRow, ...]
+    total_liquidations: int
+    total_liquidators: int
+    total_profit_usd: float
+    total_collateral_liquidated_usd: float
+    most_active: LiquidatorSummary | None
+    most_profitable: LiquidatorSummary | None
+    unprofitable_liquidations: int
+    unprofitable_loss_usd: float
+
+    def row(self, platform: str) -> PlatformProfitRow | None:
+        """Look up a platform's row."""
+        for row in self.rows:
+            if row.platform == platform:
+                return row
+        return None
+
+    @property
+    def average_profit_per_liquidator_usd(self) -> float:
+        """Overall average profit per liquidator address (Table 1's total row)."""
+        if self.total_liquidators == 0:
+            return 0.0
+        return self.total_profit_usd / self.total_liquidators
+
+
+def profit_report(records: Iterable[LiquidationRecord]) -> ProfitReport:
+    """Build the Table 1 / Section 4.3.1 statistics from liquidation records."""
+    records = list(records)
+    by_platform: dict[str, list[LiquidationRecord]] = defaultdict(list)
+    by_liquidator: dict[str, list[LiquidationRecord]] = defaultdict(list)
+    for record in records:
+        by_platform[record.platform].append(record)
+        by_liquidator[record.liquidator].append(record)
+
+    rows = []
+    ordered = [platform for platform in PLATFORM_ORDER if platform in by_platform]
+    ordered += [platform for platform in sorted(by_platform) if platform not in PLATFORM_ORDER]
+    for platform in ordered:
+        platform_records = by_platform[platform]
+        liquidators = {record.liquidator for record in platform_records}
+        rows.append(
+            PlatformProfitRow(
+                platform=platform,
+                liquidations=len(platform_records),
+                liquidators=len(liquidators),
+                total_profit_usd=sum(record.profit_usd for record in platform_records),
+            )
+        )
+
+    summaries = [
+        LiquidatorSummary(
+            address=address,
+            liquidations=len(liquidator_records),
+            total_profit_usd=sum(record.profit_usd for record in liquidator_records),
+        )
+        for address, liquidator_records in by_liquidator.items()
+    ]
+    most_active = max(summaries, key=lambda summary: summary.liquidations, default=None)
+    most_profitable = max(summaries, key=lambda summary: summary.total_profit_usd, default=None)
+    unprofitable = [record for record in records if record.profit_usd < 0]
+    return ProfitReport(
+        rows=tuple(rows),
+        total_liquidations=len(records),
+        total_liquidators=len(by_liquidator),
+        total_profit_usd=sum(record.profit_usd for record in records),
+        total_collateral_liquidated_usd=sum(record.collateral_usd for record in records),
+        most_active=most_active,
+        most_profitable=most_profitable,
+        unprofitable_liquidations=len(unprofitable),
+        unprofitable_loss_usd=sum(record.profit_usd for record in unprofitable),
+    )

@@ -1,0 +1,135 @@
+"""Liquidation record extraction — the analytics pipeline's ground truth.
+
+The paper "gather[s] data by crawling blockchain events … and reading
+blockchain states" (Section 4.1).  :func:`extract_liquidations` performs the
+same crawl against the simulated chain: it filters the liquidation event
+signatures of the four protocols, normalises each into a
+:class:`LiquidationRecord` valued at the oracle price of the settlement
+block, and exposes the resulting list to every downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..chain.chain import Blockchain
+from ..chain.events import EventLog
+from ..oracle.chainlink import PriceOracle
+from ..simulation.engine import SimulationResult
+from .common import FIXED_SPREAD_LIQUIDATION_EVENTS, month_of_block
+
+
+@dataclass(frozen=True)
+class LiquidationRecord:
+    """One normalised liquidation event.
+
+    ``profit_usd`` follows the paper's definition: the liquidator's bonus
+    assuming the purchased collateral is sold immediately at the settlement
+    block's oracle price.  For auctions, it is the difference between the
+    collateral won and the debt repaid (and can be negative — the paper's
+    641 unprofitable MakerDAO liquidations).
+    """
+
+    platform: str
+    mechanism: str
+    block_number: int
+    month: str
+    liquidator: str
+    borrower: str
+    debt_symbol: str
+    collateral_symbol: str
+    repaid_usd: float
+    collateral_usd: float
+    profit_usd: float
+    used_flash_loan: bool = False
+    auction_id: int | None = None
+
+    @property
+    def is_profitable(self) -> bool:
+        """Whether the liquidation yielded a non-negative bonus."""
+        return self.profit_usd >= 0.0
+
+
+def _fixed_spread_record(chain: Blockchain, event: EventLog) -> LiquidationRecord:
+    data = event.data
+    return LiquidationRecord(
+        platform=data["platform"],
+        mechanism="fixed-spread",
+        block_number=event.block_number,
+        month=month_of_block(chain, event.block_number),
+        liquidator=data["liquidator"],
+        borrower=data["borrower"],
+        debt_symbol=data["debt_symbol"],
+        collateral_symbol=data["collateral_symbol"],
+        repaid_usd=data["repay_usd"],
+        collateral_usd=data["collateral_usd"],
+        profit_usd=data["profit_usd"],
+        used_flash_loan=bool(data.get("used_flash_loan", False)),
+    )
+
+
+def _auction_record(chain: Blockchain, oracle: PriceOracle, event: EventLog) -> LiquidationRecord | None:
+    data = event.data
+    if not data.get("winner"):
+        # Auctions that expired without a single bid return the collateral to
+        # the vault; the paper does not count them as liquidations.
+        return None
+    collateral_symbol = data["collateral_symbol"]
+    collateral_price = oracle.price_at(collateral_symbol, event.block_number)
+    dai_price = oracle.price_at("DAI", event.block_number)
+    collateral_usd = data["collateral_won"] * collateral_price
+    repaid_usd = data["debt_repaid"] * dai_price
+    return LiquidationRecord(
+        platform=data["platform"],
+        mechanism="auction",
+        block_number=event.block_number,
+        month=month_of_block(chain, event.block_number),
+        liquidator=data["winner"],
+        borrower=data["borrower"],
+        debt_symbol="DAI",
+        collateral_symbol=collateral_symbol,
+        repaid_usd=repaid_usd,
+        collateral_usd=collateral_usd,
+        profit_usd=collateral_usd - repaid_usd,
+        auction_id=data.get("auction_id"),
+    )
+
+
+def extract_liquidations(result: SimulationResult) -> list[LiquidationRecord]:
+    """Crawl the chain's event logs and normalise every settled liquidation."""
+    chain = result.chain
+    oracle = result.oracle
+    records: list[LiquidationRecord] = []
+    for name in FIXED_SPREAD_LIQUIDATION_EVENTS:
+        for event in chain.events.by_name(name):
+            records.append(_fixed_spread_record(chain, event))
+    for event in chain.events.by_name("Deal"):
+        record = _auction_record(chain, oracle, event)
+        if record is not None:
+            records.append(record)
+    records.sort(key=lambda record: record.block_number)
+    return records
+
+
+def filter_market(
+    records: Iterable[LiquidationRecord],
+    debt_symbol: str = "DAI",
+    collateral_symbol: str = "ETH",
+) -> list[LiquidationRecord]:
+    """Restrict records to one debt/collateral market (Figure 9, Table 8)."""
+    debt_symbol = debt_symbol.upper()
+    collateral_symbol = collateral_symbol.upper()
+    return [
+        record
+        for record in records
+        if record.debt_symbol == debt_symbol and record.collateral_symbol == collateral_symbol
+    ]
+
+
+def records_by_platform(records: Iterable[LiquidationRecord]) -> dict[str, list[LiquidationRecord]]:
+    """Group records by platform name."""
+    grouped: dict[str, list[LiquidationRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.platform, []).append(record)
+    return grouped

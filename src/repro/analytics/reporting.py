@@ -1,0 +1,43 @@
+"""Plain-text table rendering used by the experiment harnesses.
+
+Every experiment can print the rows/series it reproduces in a shape that is
+easy to eyeball against the paper's tables; these helpers keep the formatting
+consistent without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_to_text(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _to_text(cell: object) -> str:
+    if isinstance(cell, float):
+        magnitude = abs(cell)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:,.2f}"
+    return str(cell)
+
+
+def format_section(title: str, body: str) -> str:
+    """Render a titled section (used when an experiment prints several tables)."""
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{body}\n"

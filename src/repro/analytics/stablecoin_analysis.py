@@ -1,0 +1,94 @@
+"""Stablecoin stability measurement (Section 4.5.2).
+
+The paper measures, block by block over one year, the pairwise price
+differences among DAI, USDC and USDT as reported by Chainlink, and finds the
+differences stay within 5 % for 99.97 % of blocks (maximum 11.1 %).  Here the
+same measurement runs against the simulated oracle's posted history (falling
+back to the market feed where no post exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..simulation.engine import SimulationResult
+
+#: The stablecoins compared in Section 4.5.2.
+DEFAULT_STABLECOINS = ("DAI", "USDC", "USDT")
+
+
+@dataclass(frozen=True)
+class StablecoinStabilityReport:
+    """Aggregate stablecoin price-difference statistics."""
+
+    symbols: tuple[str, ...]
+    blocks_measured: int
+    within_threshold_share: float
+    threshold: float
+    max_difference: float
+    max_difference_pair: tuple[str, str]
+    max_difference_block: int
+
+    @property
+    def is_strategy_stable(self) -> bool:
+        """Whether the stablecoin-collateral/stablecoin-debt strategy held.
+
+        The paper's criterion: differences within the threshold for the
+        overwhelming majority of blocks.
+        """
+        return self.within_threshold_share > 0.99
+
+
+def stablecoin_stability(
+    result: SimulationResult,
+    symbols: Sequence[str] = DEFAULT_STABLECOINS,
+    threshold: float = 0.05,
+    from_block: int | None = None,
+    to_block: int | None = None,
+    max_samples: int = 5_000,
+) -> StablecoinStabilityReport:
+    """Measure pairwise stablecoin price differences over a block range."""
+    feed = result.engine.feed
+    oracle = result.oracle
+    start = from_block if from_block is not None else feed.start_block
+    end = to_block if to_block is not None else result.final_block
+    if end < start:
+        start, end = end, start
+    n_samples = min(max_samples, max((end - start) // feed.blocks_per_step + 1, 2))
+    sample_blocks = np.linspace(start, end, n_samples).astype(int)
+    symbols = tuple(symbol.upper() for symbol in symbols)
+    within = 0
+    max_difference = 0.0
+    max_pair = (symbols[0], symbols[1]) if len(symbols) >= 2 else (symbols[0], symbols[0])
+    max_block = int(sample_blocks[0])
+    for block in sample_blocks:
+        prices = {symbol: oracle.price_at(symbol, int(block)) for symbol in symbols}
+        block_max = 0.0
+        block_pair = max_pair
+        for first, second in combinations(symbols, 2):
+            low, high = sorted((prices[first], prices[second]))
+            if low <= 0:
+                continue
+            difference = high / low - 1.0
+            if difference > block_max:
+                block_max = difference
+                block_pair = (first, second)
+        if block_max <= threshold:
+            within += 1
+        if block_max > max_difference:
+            max_difference = block_max
+            max_pair = block_pair
+            max_block = int(block)
+    return StablecoinStabilityReport(
+        symbols=symbols,
+        blocks_measured=len(sample_blocks),
+        within_threshold_share=within / len(sample_blocks),
+        threshold=threshold,
+        max_difference=max_difference,
+        max_difference_pair=max_pair,
+        max_difference_block=max_block,
+    )

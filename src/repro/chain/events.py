@@ -1,0 +1,137 @@
+"""EVM-style event logs and filtering.
+
+The paper's measurement pipeline works by filtering *events* ("The Ethereum
+events are essentially EVM logs … indexed by its signature … and the contract
+address emitting this event", Section 4.1).  This module reproduces that
+interface: protocol contracts emit :class:`EventLog` records into the chain,
+and the analytics layer retrieves them through :class:`EventFilter` queries —
+exactly the workflow of ``eth_getLogs`` against an archive node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .types import Address
+
+
+@dataclass(frozen=True)
+class EventLog:
+    """A single emitted event.
+
+    Attributes
+    ----------
+    name:
+        The event signature name, e.g. ``"LiquidationCall"`` (Aave),
+        ``"LiquidateBorrow"`` (Compound), ``"Bite"`` / ``"Tend"`` / ``"Dent"``
+        / ``"Deal"`` (MakerDAO) or ``"FlashLoan"``.
+    emitter:
+        Address of the contract that emitted the event (the lending pool,
+        auction contract or flash-loan pool).
+    block_number:
+        Block in which the emitting transaction was included.
+    tx_hash:
+        Hash of the emitting transaction.
+    log_index:
+        Position of the log within the block, preserving intra-block order.
+    data:
+        The decoded event payload as a plain dictionary.
+    """
+
+    name: str
+    emitter: Address
+    block_number: int
+    tx_hash: str
+    log_index: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor mirroring ``dict.get`` on the payload."""
+        return self.data.get(key, default)
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """A declarative query over the chain's event logs.
+
+    Mirrors the common archive-node filter parameters: a set of event names
+    (signatures), a set of emitting addresses and a block range.  Any field
+    left as ``None`` matches everything.
+    """
+
+    names: frozenset[str] | None = None
+    emitters: frozenset[Address] | None = None
+    from_block: int | None = None
+    to_block: int | None = None
+
+    @classmethod
+    def create(
+        cls,
+        names: Iterable[str] | None = None,
+        emitters: Iterable[Address] | None = None,
+        from_block: int | None = None,
+        to_block: int | None = None,
+    ) -> "EventFilter":
+        """Build a filter from plain iterables."""
+        return cls(
+            names=frozenset(names) if names is not None else None,
+            emitters=frozenset(emitters) if emitters is not None else None,
+            from_block=from_block,
+            to_block=to_block,
+        )
+
+    def matches(self, event: EventLog) -> bool:
+        """Return whether ``event`` satisfies every constraint of the filter."""
+        if self.names is not None and event.name not in self.names:
+            return False
+        if self.emitters is not None and event.emitter not in self.emitters:
+            return False
+        if self.from_block is not None and event.block_number < self.from_block:
+            return False
+        if self.to_block is not None and event.block_number > self.to_block:
+            return False
+        return True
+
+
+class EventStore:
+    """Append-only store of every event emitted on the simulated chain.
+
+    The store preserves emission order (block number, then log index) and
+    supports filtered iteration.  It is intentionally simple — a list plus an
+    index by event name — because the analytics pipeline reads it once per
+    experiment, like a single pass over ``eth_getLogs`` results.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[EventLog] = []
+        self._by_name: dict[str, list[EventLog]] = {}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EventLog]:
+        return iter(self._events)
+
+    def append(self, event: EventLog) -> None:
+        """Record a newly emitted event."""
+        self._events.append(event)
+        self._by_name.setdefault(event.name, []).append(event)
+
+    def filter(self, event_filter: EventFilter) -> list[EventLog]:
+        """Return all events matching ``event_filter`` in emission order."""
+        if event_filter.names is not None and len(event_filter.names) == 1:
+            # Fast path: single-signature queries dominate the analytics.
+            (name,) = event_filter.names
+            candidates: Iterable[EventLog] = self._by_name.get(name, [])
+        else:
+            candidates = self._events
+        return [event for event in candidates if event_filter.matches(event)]
+
+    def by_name(self, name: str) -> list[EventLog]:
+        """Return every event with signature ``name``."""
+        return list(self._by_name.get(name, []))
+
+    def names(self) -> set[str]:
+        """Return the set of distinct event signatures seen so far."""
+        return set(self._by_name)

@@ -1,0 +1,121 @@
+"""Mempool with gas-price priority ordering and bounded block capacity.
+
+Section 2.1 of the paper: "a financially rational miner may include the
+transactions with the highest gas prices from the mempool into the next
+block.  The blockchain network congests when the mempool grows faster than
+the transaction inclusion speed."  The March 2020 MakerDAO incident — keeper
+bots unable to land bids — is a direct consequence of this mechanism, so the
+simulator reproduces it: transactions wait in the mempool, blocks pack the
+highest bidders first, and anything that does not fit waits (or expires).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from .transaction import Transaction, TxStatus
+
+
+@dataclass(order=True)
+class _PoolEntry:
+    """Internal heap entry; ordered by descending gas price, FIFO on ties."""
+
+    sort_key: tuple[int, int]
+    transaction: Transaction = field(compare=False)
+
+
+class Mempool:
+    """A single global mempool.
+
+    The real network has no universal mempool (footnote 2 of the paper), but
+    for measurement purposes a single priority queue captures the relevant
+    behaviour: inclusion is ordered by gas price and bounded by block gas.
+    """
+
+    def __init__(self, max_pending: int = 50_000, expiry_blocks: int = 5_000) -> None:
+        self._heap: list[_PoolEntry] = []
+        self._counter = itertools.count()
+        self._max_pending = max_pending
+        self._expiry_blocks = expiry_blocks
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def pending(self) -> list[Transaction]:
+        """Snapshot of pending transactions (not in inclusion order)."""
+        return [entry.transaction for entry in self._heap]
+
+    def submit(self, transaction: Transaction, current_block: int) -> None:
+        """Add a transaction to the pool.
+
+        If the pool is full, the lowest-paying transaction is dropped —
+        which, during congestion, is typically a stale keeper bid.
+        """
+        transaction.submitted_block = current_block
+        entry = _PoolEntry(
+            sort_key=(-transaction.gas_price, next(self._counter)),
+            transaction=transaction,
+        )
+        heapq.heappush(self._heap, entry)
+        if len(self._heap) > self._max_pending:
+            self._drop_lowest()
+
+    def _drop_lowest(self) -> None:
+        """Drop the entry with the lowest gas price."""
+        if not self._heap:
+            return
+        lowest = max(self._heap, key=lambda entry: entry.sort_key)
+        lowest.transaction.status = TxStatus.DROPPED
+        self._heap.remove(lowest)
+        heapq.heapify(self._heap)
+
+    def select_for_block(
+        self,
+        gas_limit: int,
+        current_block: int,
+        min_gas_price: int = 0,
+    ) -> list[Transaction]:
+        """Pop the best-paying transactions that fit into ``gas_limit``.
+
+        ``min_gas_price`` models the market-clearing inclusion price during
+        congestion: transactions bidding below it stay pending (they are what
+        outside traffic crowds out of full blocks).  Transactions older than
+        the expiry window are silently dropped (their status is set to
+        :attr:`TxStatus.DROPPED`), emulating senders replacing or abandoning
+        stale transactions.
+        """
+        selected: list[Transaction] = []
+        gas_budget = gas_limit
+        skipped: list[_PoolEntry] = []
+        while self._heap and gas_budget > 0:
+            entry = heapq.heappop(self._heap)
+            tx = entry.transaction
+            if current_block - tx.submitted_block > self._expiry_blocks:
+                tx.status = TxStatus.DROPPED
+                continue
+            if tx.gas_price < min_gas_price:
+                # Everything further down the heap bids even less: stop here.
+                skipped.append(entry)
+                break
+            if tx.gas_limit <= gas_budget:
+                selected.append(tx)
+                gas_budget -= tx.gas_limit
+            else:
+                skipped.append(entry)
+                # A block is effectively full once remaining space is small.
+                if gas_budget < 25_000:
+                    break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return selected
+
+    def clear(self) -> list[Transaction]:
+        """Drop every pending transaction and return them (used by tests)."""
+        dropped = [entry.transaction for entry in self._heap]
+        for tx in dropped:
+            tx.status = TxStatus.DROPPED
+        self._heap.clear()
+        return dropped

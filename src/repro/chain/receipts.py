@@ -1,0 +1,17 @@
+"""Small helpers shared by block construction and gas accounting."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .transaction import Receipt
+
+
+def summarize_gas(receipts: Iterable[Receipt]) -> int:
+    """Total gas consumed by a collection of receipts."""
+    return sum(receipt.gas_used for receipt in receipts)
+
+
+def total_fees_eth(receipts: Iterable[Receipt]) -> float:
+    """Total transaction fees paid by a collection of receipts, in ETH."""
+    return sum(receipt.fee_eth for receipt in receipts)

@@ -1,0 +1,149 @@
+"""Core contribution of the paper: liquidation models, metrics and strategies.
+
+This package is deliberately free of any chain or protocol machinery — it is
+the pure financial model (Equations 1–17, Algorithms 1–2) that the protocol
+implementations, analytics pipeline and experiments all build on.
+"""
+
+from .auction import (
+    AuctionBid,
+    AuctionConfig,
+    AuctionError,
+    AuctionPhase,
+    TendDentAuction,
+)
+from .bad_debt import (
+    BadDebtRecord,
+    BadDebtReport,
+    BadDebtType,
+    bad_debt_report,
+    classify_position,
+)
+from .comparison import (
+    ProfitVolumePoint,
+    average_ratio_by_platform,
+    borrower_favourability,
+    median_ratio_by_platform,
+    monthly_profit_volume_ratios,
+    rank_platforms,
+)
+from .configuration import (
+    ConfigurationCheck,
+    is_reasonable_configuration,
+    health_factor_after_liquidation,
+    liquidation_improves_health,
+    reasonable_fraction,
+    spread_upper_bound,
+    sweep_configurations,
+)
+from .fixed_spread import (
+    FixedSpreadQuote,
+    LiquidationError,
+    apply_liquidation,
+    liquidate,
+    max_repayable_debt,
+    quote_liquidation,
+)
+from .optimal_strategy import (
+    MitigationAnalysis,
+    SimplePosition,
+    StrategyError,
+    StrategyOutcome,
+    compare_strategies,
+    liquidate_simple,
+    mitigation_analysis,
+    optimal_first_repay,
+    optimal_profit_closed_form,
+    optimal_strategy,
+    profit_increase_rate,
+    up_to_close_factor_strategy,
+)
+from .position import DUST, Position
+from .sensitivity import (
+    SensitivityPoint,
+    liquidatable_collateral,
+    most_sensitive_symbol,
+    sensitivity_curve,
+    sensitivity_surface,
+)
+from .terminology import (
+    LiquidationParams,
+    borrowing_capacity,
+    collateral_to_claim,
+    collateralization_ratio,
+    health_factor,
+    is_liquidatable,
+    is_under_collateralized,
+    liquidation_profit,
+)
+from .unprofitable import (
+    OpportunityRecord,
+    UnprofitableReport,
+    best_liquidation_profit,
+    find_opportunities,
+    unprofitable_report,
+)
+
+__all__ = [
+    "AuctionBid",
+    "AuctionConfig",
+    "AuctionError",
+    "AuctionPhase",
+    "BadDebtRecord",
+    "BadDebtReport",
+    "BadDebtType",
+    "ConfigurationCheck",
+    "DUST",
+    "FixedSpreadQuote",
+    "LiquidationError",
+    "LiquidationParams",
+    "MitigationAnalysis",
+    "OpportunityRecord",
+    "Position",
+    "ProfitVolumePoint",
+    "SensitivityPoint",
+    "SimplePosition",
+    "StrategyError",
+    "StrategyOutcome",
+    "TendDentAuction",
+    "UnprofitableReport",
+    "apply_liquidation",
+    "average_ratio_by_platform",
+    "bad_debt_report",
+    "best_liquidation_profit",
+    "borrower_favourability",
+    "borrowing_capacity",
+    "classify_position",
+    "collateral_to_claim",
+    "collateralization_ratio",
+    "compare_strategies",
+    "find_opportunities",
+    "health_factor",
+    "health_factor_after_liquidation",
+    "is_liquidatable",
+    "is_reasonable_configuration",
+    "is_under_collateralized",
+    "liquidatable_collateral",
+    "liquidate",
+    "liquidate_simple",
+    "liquidation_improves_health",
+    "liquidation_profit",
+    "max_repayable_debt",
+    "median_ratio_by_platform",
+    "mitigation_analysis",
+    "monthly_profit_volume_ratios",
+    "most_sensitive_symbol",
+    "optimal_first_repay",
+    "optimal_profit_closed_form",
+    "optimal_strategy",
+    "profit_increase_rate",
+    "quote_liquidation",
+    "rank_platforms",
+    "reasonable_fraction",
+    "sensitivity_curve",
+    "sensitivity_surface",
+    "spread_upper_bound",
+    "sweep_configurations",
+    "unprofitable_report",
+    "up_to_close_factor_strategy",
+]

@@ -1,0 +1,257 @@
+"""MakerDAO-style tend-dent auction model (Section 3.2.1, Figure 2).
+
+The auction is the *non-atomic* liquidation mechanism: a liquidatable CDP is
+put up for auction, bidders compete in two phases, and the winner finalizes
+the liquidation after the auction terminates.
+
+Tend phase
+    Bidders commit increasing amounts of debt ``d_i ≤ D`` in exchange for the
+    *entire* collateral ``C``.  When a bid reaches ``D`` the auction moves
+    into the dent phase.
+
+Dent phase
+    Bidders commit to accept *decreasing* amounts of collateral ``c_i ≤ C``
+    in exchange for repaying the full debt ``D``; the leftover collateral is
+    returned to the borrower.
+
+Termination
+    Either the configured *auction length* has passed since initiation, or
+    the configured *bid duration* has passed since the last bid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..chain.types import Address
+
+
+class AuctionPhase(enum.Enum):
+    """Lifecycle phases of a tend-dent auction."""
+
+    TEND = "tend"
+    DENT = "dent"
+    TERMINATED = "terminated"
+    FINALIZED = "finalized"
+
+
+class AuctionError(Exception):
+    """Raised on bids or finalizations that violate the auction rules."""
+
+
+@dataclass(frozen=True)
+class AuctionBid:
+    """A single recorded bid."""
+
+    bidder: Address
+    block_number: int
+    phase: AuctionPhase
+    debt_bid: float
+    collateral_bid: float
+
+
+@dataclass
+class AuctionConfig:
+    """Auction parameters, in blocks.
+
+    The defaults mirror MakerDAO's pre-March-2020 configuration (6-hour
+    auction length, ≈ 10-minute bid duration translated into blocks); the
+    scenario layer reconfigures them after the March 2020 incident, which is
+    what makes Figure 7's "configured" lines shift.
+    """
+
+    auction_length_blocks: int = 1_660  # ≈ 6 hours
+    bid_duration_blocks: int = 1_385  # ≈ 5 hours
+    min_bid_increase: float = 0.03  # each tend bid must beat the last by 3 %
+    min_dent_decrease: float = 0.03  # each dent bid must shave ≥ 3 % collateral
+
+
+@dataclass
+class TendDentAuction:
+    """State machine of a single collateral auction.
+
+    ``debt_target`` (D) and ``collateral_lot`` (C) are USD-free token
+    amounts; valuation happens at the protocol layer.
+    """
+
+    auction_id: int
+    borrower: Address
+    collateral_symbol: str
+    debt_symbol: str
+    collateral_lot: float
+    debt_target: float
+    start_block: int
+    config: AuctionConfig = field(default_factory=AuctionConfig)
+    bids: list[AuctionBid] = field(default_factory=list)
+    phase: AuctionPhase = AuctionPhase.TEND
+    finalized_block: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Status
+    # ------------------------------------------------------------------ #
+    @property
+    def best_bid(self) -> AuctionBid | None:
+        """The currently winning bid, if any."""
+        return self.bids[-1] if self.bids else None
+
+    @property
+    def winning_bidder(self) -> Address | None:
+        """Address of the current highest bidder."""
+        best = self.best_bid
+        return best.bidder if best else None
+
+    @property
+    def last_bid_block(self) -> int | None:
+        """Block number of the most recent bid."""
+        best = self.best_bid
+        return best.block_number if best else None
+
+    @property
+    def current_debt_bid(self) -> float:
+        """Highest committed debt repayment so far (0 before any bid)."""
+        best = self.best_bid
+        return best.debt_bid if best else 0.0
+
+    @property
+    def current_collateral_bid(self) -> float:
+        """Collateral the winning bidder would currently receive."""
+        best = self.best_bid
+        return best.collateral_bid if best else self.collateral_lot
+
+    def is_expired(self, block_number: int) -> bool:
+        """Whether either termination condition has been reached."""
+        if self.phase in (AuctionPhase.TERMINATED, AuctionPhase.FINALIZED):
+            return True
+        if block_number - self.start_block >= self.config.auction_length_blocks:
+            return True
+        last_bid = self.last_bid_block
+        if last_bid is not None and block_number - last_bid >= self.config.bid_duration_blocks:
+            return True
+        return False
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the auction still accepts bids (ignoring expiry)."""
+        return self.phase in (AuctionPhase.TEND, AuctionPhase.DENT)
+
+    # ------------------------------------------------------------------ #
+    # Bidding
+    # ------------------------------------------------------------------ #
+    def place_tend_bid(self, bidder: Address, debt_bid: float, block_number: int) -> AuctionBid:
+        """Commit to repay ``debt_bid`` of the debt for the full collateral lot."""
+        self._check_open(block_number)
+        if self.phase is not AuctionPhase.TEND:
+            raise AuctionError("auction is no longer in the tend phase")
+        if debt_bid > self.debt_target + 1e-9:
+            raise AuctionError("tend bid cannot exceed the debt target")
+        minimum = self.current_debt_bid * (1.0 + self.config.min_bid_increase)
+        if self.bids and debt_bid < minimum - 1e-12:
+            raise AuctionError(
+                f"tend bid {debt_bid:.6f} below minimum increment {minimum:.6f}"
+            )
+        if not self.bids and debt_bid <= 0:
+            raise AuctionError("first tend bid must be positive")
+        bid = AuctionBid(
+            bidder=bidder,
+            block_number=block_number,
+            phase=AuctionPhase.TEND,
+            debt_bid=debt_bid,
+            collateral_bid=self.collateral_lot,
+        )
+        self.bids.append(bid)
+        if debt_bid >= self.debt_target * (1.0 - 1e-12):
+            self.phase = AuctionPhase.DENT
+        return bid
+
+    def place_dent_bid(self, bidder: Address, collateral_bid: float, block_number: int) -> AuctionBid:
+        """Commit to accept only ``collateral_bid`` collateral for the full debt."""
+        self._check_open(block_number)
+        if self.phase is not AuctionPhase.DENT:
+            raise AuctionError("auction is not in the dent phase")
+        if collateral_bid <= 0:
+            raise AuctionError("dent bid must request positive collateral")
+        maximum = self.current_collateral_bid * (1.0 - self.config.min_dent_decrease)
+        if collateral_bid > maximum + 1e-12:
+            raise AuctionError(
+                f"dent bid {collateral_bid:.6f} above maximum {maximum:.6f}"
+            )
+        bid = AuctionBid(
+            bidder=bidder,
+            block_number=block_number,
+            phase=AuctionPhase.DENT,
+            debt_bid=self.debt_target,
+            collateral_bid=collateral_bid,
+        )
+        self.bids.append(bid)
+        return bid
+
+    def _check_open(self, block_number: int) -> None:
+        if not self.is_open:
+            raise AuctionError("auction already terminated")
+        if self.is_expired(block_number):
+            raise AuctionError("auction has expired; it must be finalized")
+
+    # ------------------------------------------------------------------ #
+    # Termination
+    # ------------------------------------------------------------------ #
+    def finalize(self, block_number: int) -> AuctionBid | None:
+        """Terminate the auction and return the winning bid (``None`` if unbid).
+
+        The winning bidder repays its committed debt and receives its
+        committed collateral; the rest of the collateral (if the auction
+        ended in the dent phase) goes back to the borrower.  The protocol
+        layer performs those transfers.
+        """
+        if self.phase is AuctionPhase.FINALIZED:
+            raise AuctionError("auction already finalized")
+        if not self.is_expired(block_number):
+            raise AuctionError("auction has not yet terminated")
+        self.phase = AuctionPhase.FINALIZED
+        self.finalized_block = block_number
+        return self.best_bid
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers (Section 4.3.3 measurements)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_bids(self) -> int:
+        """Total number of bids placed."""
+        return len(self.bids)
+
+    @property
+    def n_tend_bids(self) -> int:
+        """Number of bids placed in the tend phase."""
+        return sum(1 for bid in self.bids if bid.phase is AuctionPhase.TEND)
+
+    @property
+    def n_dent_bids(self) -> int:
+        """Number of bids placed in the dent phase."""
+        return sum(1 for bid in self.bids if bid.phase is AuctionPhase.DENT)
+
+    @property
+    def n_bidders(self) -> int:
+        """Number of distinct bidder addresses."""
+        return len({bid.bidder for bid in self.bids})
+
+    @property
+    def terminated_in_tend(self) -> bool:
+        """Whether the auction never reached the dent phase."""
+        return self.n_dent_bids == 0
+
+    def duration_blocks(self) -> int | None:
+        """Blocks between initiation and finalization (Figure 7's duration)."""
+        if self.finalized_block is None:
+            return None
+        return self.finalized_block - self.start_block
+
+    def bid_interval_blocks(self) -> list[int]:
+        """Block gaps between consecutive bids (Section 4.3.3's bid intervals)."""
+        blocks = [bid.block_number for bid in self.bids]
+        return [later - earlier for earlier, later in zip(blocks, blocks[1:])]
+
+    def first_bid_delay_blocks(self) -> int | None:
+        """Blocks between auction initiation and the first bid."""
+        if not self.bids:
+            return None
+        return self.bids[0].block_number - self.start_block

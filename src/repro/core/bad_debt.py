@@ -1,0 +1,130 @@
+"""Bad debt classification (Section 4.4.2, Table 2).
+
+Type I bad debt (under-collateralized position)
+    The collateral value has fallen below the debt value; closing the
+    position necessarily books a loss for the borrower or the platform.
+
+Type II bad debt (excessive transaction fees)
+    The position is still over-collateralized, but the *excess* collateral —
+    what the borrower would get back after repaying — is worth less than the
+    transaction fee of closing it, so no rational borrower will ever close
+    it.
+
+The paper evaluates Type II at assumed closing costs of 10 USD and 100 USD.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .position import Position
+
+
+class BadDebtType(enum.Enum):
+    """Classification outcomes for a borrowing position."""
+
+    HEALTHY = "healthy"
+    TYPE_I = "type_i"
+    TYPE_II = "type_ii"
+
+
+@dataclass(frozen=True)
+class BadDebtRecord:
+    """Classification of one position, with its headline values."""
+
+    owner: str
+    kind: BadDebtType
+    collateral_usd: float
+    debt_usd: float
+    excess_collateral_usd: float
+
+
+@dataclass(frozen=True)
+class BadDebtReport:
+    """Aggregate bad-debt statistics for one platform snapshot (one Table 2 row)."""
+
+    transaction_fee_usd: float
+    total_positions: int
+    type_i_count: int
+    type_i_collateral_usd: float
+    type_ii_count: int
+    type_ii_collateral_usd: float
+
+    @property
+    def type_i_share(self) -> float:
+        """Fraction of open positions classified Type I."""
+        return self.type_i_count / self.total_positions if self.total_positions else 0.0
+
+    @property
+    def type_ii_share(self) -> float:
+        """Fraction of open positions classified Type II."""
+        return self.type_ii_count / self.total_positions if self.total_positions else 0.0
+
+    @property
+    def locked_collateral_usd(self) -> float:
+        """Collateral value locked in bad debt of either type."""
+        return self.type_i_collateral_usd + self.type_ii_collateral_usd
+
+
+def classify_position(
+    position: Position,
+    prices: Mapping[str, float],
+    transaction_fee_usd: float,
+) -> BadDebtRecord:
+    """Classify a single position as healthy / Type I / Type II."""
+    collateral_usd = position.total_collateral_usd(prices)
+    debt_usd = position.total_debt_usd(prices)
+    excess = collateral_usd - debt_usd
+    if not position.has_debt:
+        kind = BadDebtType.HEALTHY
+    elif collateral_usd < debt_usd:
+        kind = BadDebtType.TYPE_I
+    elif excess < transaction_fee_usd:
+        kind = BadDebtType.TYPE_II
+    else:
+        kind = BadDebtType.HEALTHY
+    return BadDebtRecord(
+        owner=position.owner.value,
+        kind=kind,
+        collateral_usd=collateral_usd,
+        debt_usd=debt_usd,
+        excess_collateral_usd=excess,
+    )
+
+
+def bad_debt_report(
+    positions: Iterable[Position],
+    prices: Mapping[str, float],
+    transaction_fee_usd: float,
+) -> BadDebtReport:
+    """Classify every open position and aggregate counts / locked collateral.
+
+    Positions without debt are excluded from the denominator, matching the
+    paper's framing of "lending positions".
+    """
+    total = 0
+    type_i_count = 0
+    type_i_collateral = 0.0
+    type_ii_count = 0
+    type_ii_collateral = 0.0
+    for position in positions:
+        if not position.has_debt:
+            continue
+        total += 1
+        record = classify_position(position, prices, transaction_fee_usd)
+        if record.kind is BadDebtType.TYPE_I:
+            type_i_count += 1
+            type_i_collateral += record.collateral_usd
+        elif record.kind is BadDebtType.TYPE_II:
+            type_ii_count += 1
+            type_ii_collateral += record.collateral_usd
+    return BadDebtReport(
+        transaction_fee_usd=transaction_fee_usd,
+        total_positions=total,
+        type_i_count=type_i_count,
+        type_i_collateral_usd=type_i_collateral,
+        type_ii_count=type_ii_count,
+        type_ii_collateral_usd=type_ii_collateral,
+    )

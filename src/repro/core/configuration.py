@@ -1,0 +1,91 @@
+"""Reasonable fixed spread configurations (Appendix C).
+
+Appendix C derives the prerequisite under which a fixed spread liquidation
+can *increase* the health factor of an over-collateralized liquidatable
+position: ``1 − LT·(1 + LS) > 0``.  This module provides the health-factor
+algebra of Equations 13–17 and helpers to sweep the (LT, LS) space — used by
+the configuration ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .optimal_strategy import SimplePosition, liquidate_simple
+from .terminology import LiquidationParams
+
+
+@dataclass(frozen=True)
+class ConfigurationCheck:
+    """Evaluation of one (LT, LS) pair."""
+
+    liquidation_threshold: float
+    liquidation_spread: float
+    is_reasonable: bool
+
+
+def is_reasonable_configuration(liquidation_threshold: float, liquidation_spread: float) -> bool:
+    """Appendix C's prerequisite ``1 − LT(1 + LS) > 0``."""
+    return 1.0 - liquidation_threshold * (1.0 + liquidation_spread) > 0.0
+
+
+def health_factor_after_liquidation(
+    position: SimplePosition,
+    repay_usd: float,
+    params: LiquidationParams,
+) -> float:
+    """Equation 14: HF′ = (C − r(1+LS))·LT / (D − r)."""
+    after = liquidate_simple(position, repay_usd, params)
+    return after.health_factor(params.liquidation_threshold)
+
+
+def liquidation_improves_health(
+    position: SimplePosition,
+    repay_usd: float,
+    params: LiquidationParams,
+) -> bool:
+    """Equation 15: whether HF′ > HF for the given repay amount."""
+    before = position.health_factor(params.liquidation_threshold)
+    after = health_factor_after_liquidation(position, repay_usd, params)
+    return after > before
+
+
+def spread_upper_bound(position: SimplePosition) -> float:
+    """Equation 16: a liquidation improves health only if ``1 + LS < C/D``.
+
+    Returns the largest admissible LS for the position (negative when the
+    position is under-collateralized, meaning no spread works).
+    """
+    return position.collateralization_ratio - 1.0
+
+
+def sweep_configurations(
+    thresholds: Sequence[float] | None = None,
+    spreads: Sequence[float] | None = None,
+) -> list[ConfigurationCheck]:
+    """Evaluate the reasonableness prerequisite over a grid of (LT, LS)."""
+    if thresholds is None:
+        thresholds = np.round(np.arange(0.30, 1.0, 0.05), 4)
+    if spreads is None:
+        spreads = np.round(np.arange(0.0, 0.31, 0.025), 4)
+    checks: list[ConfigurationCheck] = []
+    for lt in thresholds:
+        for ls in spreads:
+            checks.append(
+                ConfigurationCheck(
+                    liquidation_threshold=float(lt),
+                    liquidation_spread=float(ls),
+                    is_reasonable=is_reasonable_configuration(float(lt), float(ls)),
+                )
+            )
+    return checks
+
+
+def reasonable_fraction(checks: Sequence[ConfigurationCheck]) -> float:
+    """Fraction of the swept grid satisfying the prerequisite."""
+    if not checks:
+        return 0.0
+    return sum(1 for check in checks if check.is_reasonable) / len(checks)

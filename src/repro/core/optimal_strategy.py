@@ -1,0 +1,221 @@
+"""The optimal fixed spread liquidation strategy (Section 5.2, Algorithm 2).
+
+A close factor CF caps the debt repayable in *one* liquidation, but a
+position stays liquidatable as long as it remains unhealthy.  The optimal
+strategy therefore splits the liquidation in two:
+
+1. first repay exactly enough to keep the position *just* unhealthy
+   (Equation 6: ``repay₁ = (D − LT·C) / (1 − LT(1 + LS))``), then
+2. repay up to the close factor of the *remaining* debt
+   (Equation 7: ``repay₂ = CF · (D − repay₁)``).
+
+Both liquidations collect the fixed spread, so the combined profit
+(Equation 8) strictly exceeds the single up-to-close-factor liquidation
+whenever the position is liquidatable, with relative gain given by
+Equation 9.  Section 5.2.3 analyses the "one liquidation per block"
+mitigation: a mining liquidator only prefers the optimal strategy when its
+mining power exceeds the threshold of Equation 12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .terminology import LiquidationParams
+
+
+class StrategyError(Exception):
+    """Raised when a strategy is evaluated on an ineligible position."""
+
+
+@dataclass(frozen=True)
+class SimplePosition:
+    """The ⟨C, D⟩ abstraction of Equation 5: total collateral and debt value (USD)."""
+
+    collateral_usd: float
+    debt_usd: float
+
+    def health_factor(self, liquidation_threshold: float) -> float:
+        """HF = C·LT / D (single-collateral form of Equation 4)."""
+        if self.debt_usd <= 0:
+            return math.inf
+        return self.collateral_usd * liquidation_threshold / self.debt_usd
+
+    def is_liquidatable(self, liquidation_threshold: float) -> bool:
+        """Whether HF < 1."""
+        return self.health_factor(liquidation_threshold) < 1.0
+
+    @property
+    def collateralization_ratio(self) -> float:
+        """CR = C / D."""
+        if self.debt_usd <= 0:
+            return math.inf
+        return self.collateral_usd / self.debt_usd
+
+
+def liquidate_simple(position: SimplePosition, repay_usd: float, params: LiquidationParams) -> SimplePosition:
+    """Algorithm 2's ``Liquidate``: POS′ = ⟨C − repay·(1+LS), D − repay⟩."""
+    if repay_usd < 0:
+        raise StrategyError("repay amount must be non-negative")
+    return SimplePosition(
+        collateral_usd=position.collateral_usd - repay_usd * (1.0 + params.liquidation_spread),
+        debt_usd=position.debt_usd - repay_usd,
+    )
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Summary of a liquidation strategy applied to one position.
+
+    ``repays_usd`` lists the debt value repaid in each successive
+    liquidation; ``profit_usd`` is the total fixed-spread bonus collected
+    (Equation 8 for the optimal strategy, ``LS·CF·D`` for up-to-close-factor).
+    """
+
+    name: str
+    repays_usd: tuple[float, ...]
+    profit_usd: float
+    final_position: SimplePosition
+
+    @property
+    def total_repaid_usd(self) -> float:
+        """Total debt value repaid across all liquidations of the strategy."""
+        return sum(self.repays_usd)
+
+    @property
+    def collateral_received_usd(self) -> float:
+        """Total collateral value received (repaid × (1 + LS))."""
+        return self.total_repaid_usd + self.profit_usd
+
+
+def up_to_close_factor_strategy(position: SimplePosition, params: LiquidationParams) -> StrategyOutcome:
+    """The conventional strategy: one liquidation repaying CF·D."""
+    if not position.is_liquidatable(params.liquidation_threshold):
+        raise StrategyError("position is not liquidatable")
+    repay = params.close_factor * position.debt_usd
+    final = liquidate_simple(position, repay, params)
+    profit = repay * params.liquidation_spread
+    return StrategyOutcome(
+        name="up-to-close-factor",
+        repays_usd=(repay,),
+        profit_usd=profit,
+        final_position=final,
+    )
+
+
+def optimal_first_repay(position: SimplePosition, params: LiquidationParams) -> float:
+    """Equation 6: the largest repay that keeps the position unhealthy.
+
+    ``repay₁ = (D − LT·C) / (1 − LT(1 + LS))``.  Requires a *reasonable*
+    parameterisation (Appendix C): ``1 − LT(1+LS) > 0``.
+    """
+    if not params.is_reasonable:
+        raise StrategyError("parameters violate Appendix C's 1 - LT(1+LS) > 0 prerequisite")
+    lt = params.liquidation_threshold
+    ls = params.liquidation_spread
+    numerator = position.debt_usd - lt * position.collateral_usd
+    if numerator <= 0:
+        raise StrategyError("position is not liquidatable")
+    return numerator / (1.0 - lt * (1.0 + ls))
+
+
+def optimal_strategy(position: SimplePosition, params: LiquidationParams) -> StrategyOutcome:
+    """Algorithm 2: two successive liquidations lifting the close-factor cap."""
+    if not position.is_liquidatable(params.liquidation_threshold):
+        raise StrategyError("position is not liquidatable")
+    repay_1 = optimal_first_repay(position, params)
+    # The first repay cannot exceed the close-factor cap of the original debt;
+    # if it would, the optimal strategy degenerates to up-to-close-factor.
+    cap = params.close_factor * position.debt_usd
+    repay_1 = min(repay_1, cap)
+    intermediate = liquidate_simple(position, repay_1, params)
+    repay_2 = params.close_factor * intermediate.debt_usd
+    final = liquidate_simple(intermediate, repay_2, params)
+    profit = (repay_1 + repay_2) * params.liquidation_spread
+    return StrategyOutcome(
+        name="optimal",
+        repays_usd=(repay_1, repay_2),
+        profit_usd=profit,
+        final_position=final,
+    )
+
+
+def optimal_profit_closed_form(position: SimplePosition, params: LiquidationParams) -> float:
+    """Equation 8: closed-form profit of the optimal strategy."""
+    lt = params.liquidation_threshold
+    ls = params.liquidation_spread
+    cf = params.close_factor
+    d = position.debt_usd
+    c = position.collateral_usd
+    repay_1 = (d - lt * c) / (1.0 - lt * (1.0 + ls))
+    return ls * cf * d + ls * (1.0 - cf) * repay_1
+
+
+def profit_increase_rate(position: SimplePosition, params: LiquidationParams) -> float:
+    """Equation 9: relative profit increase of the optimal strategy.
+
+    ``ΔR = CF/(1−CF) · (1 − LT·CR) / (1 − LT(1+LS))`` — undefined (infinite)
+    when CF = 1, in which case the close factor imposes no restriction and
+    the optimal strategy adds nothing.
+    """
+    cf = params.close_factor
+    if cf >= 1.0:
+        return 0.0
+    lt = params.liquidation_threshold
+    ls = params.liquidation_spread
+    cr = position.collateralization_ratio
+    return (cf / (1.0 - cf)) * (1.0 - lt * cr) / (1.0 - lt * (1.0 + ls))
+
+
+@dataclass(frozen=True)
+class MitigationAnalysis:
+    """Section 5.2.3's expected-profit comparison under the one-per-block rule.
+
+    ``alpha_threshold`` is Equation 12's minimum mining power above which a
+    mining liquidator still prefers the optimal strategy when each position
+    may only be liquidated once per block.
+    """
+
+    profit_close_factor_usd: float
+    profit_optimal_first_usd: float
+    profit_optimal_second_usd: float
+    alpha_threshold: float
+
+    def expected_profit_close_factor(self, alpha: float) -> float:
+        """Equation 10: E[up-to-close-factor] = α · profit_c."""
+        return alpha * self.profit_close_factor_usd
+
+    def expected_profit_optimal(self, alpha: float) -> float:
+        """Equation 11: E[optimal] = α · profit_o1 + α² · profit_o2."""
+        return alpha * self.profit_optimal_first_usd + alpha**2 * self.profit_optimal_second_usd
+
+    def prefers_optimal(self, alpha: float) -> bool:
+        """Whether a miner with power ``alpha`` expects more from the optimal strategy."""
+        return self.expected_profit_optimal(alpha) > self.expected_profit_close_factor(alpha)
+
+
+def mitigation_analysis(position: SimplePosition, params: LiquidationParams) -> MitigationAnalysis:
+    """Compute Equations 10–12 for a given position and parameterisation."""
+    close = up_to_close_factor_strategy(position, params)
+    optimal = optimal_strategy(position, params)
+    profit_o1 = optimal.repays_usd[0] * params.liquidation_spread
+    profit_o2 = optimal.repays_usd[1] * params.liquidation_spread
+    if profit_o2 <= 0:
+        alpha_threshold = math.inf
+    else:
+        alpha_threshold = (close.profit_usd - profit_o1) / profit_o2
+    return MitigationAnalysis(
+        profit_close_factor_usd=close.profit_usd,
+        profit_optimal_first_usd=profit_o1,
+        profit_optimal_second_usd=profit_o2,
+        alpha_threshold=alpha_threshold,
+    )
+
+
+def compare_strategies(position: SimplePosition, params: LiquidationParams) -> dict[str, StrategyOutcome]:
+    """Evaluate both strategies on the same position (Table 6's comparison)."""
+    return {
+        "up-to-close-factor": up_to_close_factor_strategy(position, params),
+        "optimal": optimal_strategy(position, params),
+    }

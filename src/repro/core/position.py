@@ -1,0 +1,161 @@
+"""Borrowing positions: multi-asset collateral and debt accounting.
+
+"In this work, the collateral and debts are collectively referred to as a
+position.  A position may consist of multiple-cryptocurrency collaterals and
+debts." (Section 2.3).  The :class:`Position` class is the single accounting
+object shared by all four protocol implementations; the core formulas come
+from :mod:`repro.core.terminology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..chain.types import Address
+from .terminology import (
+    borrowing_capacity,
+    collateralization_ratio,
+    health_factor,
+)
+
+#: Token amounts below this threshold are treated as zero ("dust") when
+#: deciding whether a position still owes debt or holds collateral.
+DUST = 1e-9
+
+
+@dataclass
+class Position:
+    """The collateral and debt of one borrower on one protocol.
+
+    Collateral and debt are stored as token *amounts* per symbol; USD values
+    are always computed against an externally supplied price mapping so the
+    same position can be valued at any block.
+    """
+
+    owner: Address
+    collateral: dict[str, float] = field(default_factory=dict)
+    debt: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_collateral(self, symbol: str, amount: float) -> None:
+        """Deposit ``amount`` of ``symbol`` as collateral."""
+        if amount < 0:
+            raise ValueError("collateral amount must be non-negative")
+        self.collateral[symbol] = self.collateral.get(symbol, 0.0) + amount
+
+    def remove_collateral(self, symbol: str, amount: float) -> None:
+        """Withdraw ``amount`` of ``symbol`` collateral."""
+        held = self.collateral.get(symbol, 0.0)
+        if amount > held + DUST:
+            raise ValueError(f"cannot remove {amount} {symbol}; only {held} held")
+        remaining = held - amount
+        if remaining <= DUST:
+            self.collateral.pop(symbol, None)
+        else:
+            self.collateral[symbol] = remaining
+
+    def add_debt(self, symbol: str, amount: float) -> None:
+        """Borrow ``amount`` of ``symbol``."""
+        if amount < 0:
+            raise ValueError("debt amount must be non-negative")
+        self.debt[symbol] = self.debt.get(symbol, 0.0) + amount
+
+    def reduce_debt(self, symbol: str, amount: float) -> None:
+        """Repay ``amount`` of the ``symbol`` debt."""
+        owed = self.debt.get(symbol, 0.0)
+        if amount > owed + 1e-6:
+            raise ValueError(f"cannot repay {amount} {symbol}; only {owed} owed")
+        remaining = owed - amount
+        if remaining <= DUST:
+            self.debt.pop(symbol, None)
+        else:
+            self.debt[symbol] = remaining
+
+    def scale_debt(self, factor: float) -> None:
+        """Multiply every debt amount by ``factor`` (interest accrual)."""
+        if factor < 0:
+            raise ValueError("interest factor must be non-negative")
+        for symbol in list(self.debt):
+            self.debt[symbol] *= factor
+
+    # ------------------------------------------------------------------ #
+    # Valuation
+    # ------------------------------------------------------------------ #
+    def collateral_values(self, prices: Mapping[str, float]) -> dict[str, float]:
+        """USD value of each collateral asset."""
+        return {symbol: amount * prices[symbol] for symbol, amount in self.collateral.items()}
+
+    def debt_values(self, prices: Mapping[str, float]) -> dict[str, float]:
+        """USD value of each debt asset."""
+        return {symbol: amount * prices[symbol] for symbol, amount in self.debt.items()}
+
+    def total_collateral_usd(self, prices: Mapping[str, float]) -> float:
+        """Total USD value of the collateral."""
+        return sum(self.collateral_values(prices).values())
+
+    def total_debt_usd(self, prices: Mapping[str, float]) -> float:
+        """Total USD value of the debt."""
+        return sum(self.debt_values(prices).values())
+
+    def borrowing_capacity(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> float:
+        """Equation 3 applied to this position."""
+        return borrowing_capacity(self.collateral_values(prices), thresholds)
+
+    def health_factor(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> float:
+        """Equation 4 applied to this position."""
+        return health_factor(self.borrowing_capacity(prices, thresholds), self.total_debt_usd(prices))
+
+    def collateralization_ratio(self, prices: Mapping[str, float]) -> float:
+        """Equation 2 applied to this position."""
+        return collateralization_ratio(self.total_collateral_usd(prices), self.total_debt_usd(prices))
+
+    def is_liquidatable(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> bool:
+        """Whether the position can currently be liquidated (HF < 1)."""
+        return self.health_factor(prices, thresholds) < 1.0
+
+    def is_under_collateralized(self, prices: Mapping[str, float]) -> bool:
+        """Whether the collateral value no longer covers the debt (CR < 1)."""
+        return self.collateralization_ratio(prices) < 1.0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def has_debt(self) -> bool:
+        """Whether any debt above dust remains."""
+        return any(amount > DUST for amount in self.debt.values())
+
+    @property
+    def has_collateral(self) -> bool:
+        """Whether any collateral above dust remains."""
+        return any(amount > DUST for amount in self.collateral.values())
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the position carries neither debt nor collateral."""
+        return not self.has_debt and not self.has_collateral
+
+    def collateral_symbols(self) -> list[str]:
+        """Symbols currently held as collateral."""
+        return sorted(symbol for symbol, amount in self.collateral.items() if amount > DUST)
+
+    def debt_symbols(self) -> list[str]:
+        """Symbols currently owed as debt."""
+        return sorted(symbol for symbol, amount in self.debt.items() if amount > DUST)
+
+    def copy(self) -> "Position":
+        """Deep copy of the position (used for what-if evaluations)."""
+        return Position(owner=self.owner, collateral=dict(self.collateral), debt=dict(self.debt))
+
+    def summary(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> dict[str, float]:
+        """A flat dictionary of the position's headline numbers."""
+        return {
+            "collateral_usd": self.total_collateral_usd(prices),
+            "debt_usd": self.total_debt_usd(prices),
+            "borrowing_capacity_usd": self.borrowing_capacity(prices, thresholds),
+            "health_factor": self.health_factor(prices, thresholds),
+            "collateralization_ratio": self.collateralization_ratio(prices),
+        }

@@ -1,0 +1,114 @@
+"""The paper's core financial terminology (Section 2.3, Equations 1–4).
+
+Every quantity is a pure function of USD values so that the same formulas are
+used by the protocol implementations, the analytics pipeline and the optimal
+strategy analysis — there is exactly one definition of the health factor in
+the code base.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class LiquidationParams:
+    """The three knobs of a fixed spread liquidation mechanism.
+
+    Attributes
+    ----------
+    liquidation_threshold:
+        LT — the fraction of the collateral value counted towards the
+        borrowing capacity (Equation 3).
+    liquidation_spread:
+        LS — the discount a liquidator receives on purchased collateral
+        (Equation 1).
+    close_factor:
+        CF — the maximum proportion of the outstanding debt repayable in a
+        single liquidation.
+    """
+
+    liquidation_threshold: float
+    liquidation_spread: float
+    close_factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.liquidation_threshold <= 1.0:
+            raise ValueError("liquidation threshold must lie in (0, 1]")
+        if self.liquidation_spread < 0.0:
+            raise ValueError("liquidation spread must be non-negative")
+        if not 0.0 < self.close_factor <= 1.0:
+            raise ValueError("close factor must lie in (0, 1]")
+
+    @property
+    def is_reasonable(self) -> bool:
+        """Appendix C's prerequisite ``1 - LT (1 + LS) > 0``.
+
+        Only under this condition can a fixed spread liquidation increase the
+        health factor of an over-collateralized liquidatable position.
+        """
+        return 1.0 - self.liquidation_threshold * (1.0 + self.liquidation_spread) > 0.0
+
+
+def collateral_to_claim(debt_to_repay_usd: float, liquidation_spread: float) -> float:
+    """Equation 1: value of collateral a liquidator claims for repaying debt.
+
+    ``Value of Collateral to Claim = Value of Debt to Repay × (1 + LS)``.
+    """
+    if debt_to_repay_usd < 0:
+        raise ValueError("repaid debt value must be non-negative")
+    return debt_to_repay_usd * (1.0 + liquidation_spread)
+
+
+def liquidation_profit(debt_to_repay_usd: float, liquidation_spread: float) -> float:
+    """Gross profit of a fixed spread liquidation (collateral claimed − debt repaid)."""
+    return collateral_to_claim(debt_to_repay_usd, liquidation_spread) - debt_to_repay_usd
+
+
+def collateralization_ratio(collateral_usd: float, debt_usd: float) -> float:
+    """Equation 2: CR = Σ collateral value / Σ debt value.
+
+    Returns ``inf`` for debt-free positions so comparisons like ``CR < 1``
+    behave naturally.
+    """
+    if debt_usd <= 0:
+        return math.inf
+    return collateral_usd / debt_usd
+
+
+def borrowing_capacity(collateral_values: Mapping[str, float], liquidation_thresholds: Mapping[str, float]) -> float:
+    """Equation 3: BC = Σᵢ collateral valueᵢ × LTᵢ.
+
+    ``collateral_values`` maps asset symbol → USD value;
+    ``liquidation_thresholds`` maps asset symbol → LT for that market.
+    Missing thresholds default to 0 (the asset does not count as collateral).
+    """
+    capacity = 0.0
+    for symbol, value in collateral_values.items():
+        if value < 0:
+            raise ValueError(f"negative collateral value for {symbol}")
+        capacity += value * liquidation_thresholds.get(symbol, 0.0)
+    return capacity
+
+
+def health_factor(borrowing_capacity_usd: float, debt_usd: float) -> float:
+    """Equation 4: HF = BC / Σ debt value.
+
+    Returns ``inf`` for debt-free positions.  A position is liquidatable when
+    ``HF < 1``.
+    """
+    if debt_usd <= 0:
+        return math.inf
+    return borrowing_capacity_usd / debt_usd
+
+
+def is_liquidatable(borrowing_capacity_usd: float, debt_usd: float) -> bool:
+    """Whether a position with the given aggregates can be liquidated (HF < 1)."""
+    return health_factor(borrowing_capacity_usd, debt_usd) < 1.0
+
+
+def is_under_collateralized(collateral_usd: float, debt_usd: float) -> bool:
+    """Whether the raw collateral no longer covers the debt (CR < 1)."""
+    return collateralization_ratio(collateral_usd, debt_usd) < 1.0

@@ -1,0 +1,116 @@
+"""Unprofitable liquidation opportunities (Section 4.4.3, Table 3).
+
+A liquidation opportunity is *unprofitable* if the fixed-spread bonus the
+liquidator would collect cannot cover the transaction fee.  Rational
+liquidators skip such positions, which therefore drift into Type I bad debt
+if their health keeps deteriorating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .fixed_spread import max_repayable_debt
+from .position import Position
+from .terminology import LiquidationParams
+
+
+@dataclass(frozen=True)
+class OpportunityRecord:
+    """One liquidatable position and the best profit available on it."""
+
+    owner: str
+    collateral_usd: float
+    debt_usd: float
+    best_profit_usd: float
+    is_profitable: bool
+
+
+@dataclass(frozen=True)
+class UnprofitableReport:
+    """Aggregate unprofitable-opportunity statistics (one Table 3 cell)."""
+
+    transaction_fee_usd: float
+    liquidatable_positions: int
+    unprofitable_count: int
+    unprofitable_collateral_usd: float
+
+    @property
+    def unprofitable_share(self) -> float:
+        """Fraction of liquidatable positions that are unprofitable to liquidate."""
+        if self.liquidatable_positions == 0:
+            return 0.0
+        return self.unprofitable_count / self.liquidatable_positions
+
+
+def best_liquidation_profit(
+    position: Position,
+    params: LiquidationParams,
+    prices: Mapping[str, float],
+) -> float:
+    """The maximum single-liquidation bonus available on ``position``.
+
+    The liquidator repays the close-factor cap of the largest debt market and
+    seizes the most valuable collateral; the bonus is the spread on the
+    repaid value (bounded by the collateral actually available).
+    """
+    debt_values = position.debt_values(prices)
+    collateral_values = position.collateral_values(prices)
+    if not debt_values or not collateral_values:
+        return 0.0
+    debt_symbol = max(debt_values, key=debt_values.get)
+    collateral_symbol = max(collateral_values, key=collateral_values.get)
+    repay_amount = max_repayable_debt(position, debt_symbol, params, prices)
+    repay_usd = repay_amount * prices[debt_symbol]
+    seize_usd = repay_usd * (1.0 + params.liquidation_spread)
+    available = collateral_values[collateral_symbol]
+    if seize_usd > available:
+        seize_usd = available
+        repay_usd = seize_usd / (1.0 + params.liquidation_spread)
+    return seize_usd - repay_usd
+
+
+def find_opportunities(
+    positions: Iterable[Position],
+    params: LiquidationParams,
+    prices: Mapping[str, float],
+    thresholds: Mapping[str, float],
+    transaction_fee_usd: float,
+) -> list[OpportunityRecord]:
+    """Enumerate liquidatable positions and evaluate their profitability."""
+    records: list[OpportunityRecord] = []
+    for position in positions:
+        if not position.has_debt:
+            continue
+        if not position.is_liquidatable(prices, thresholds):
+            continue
+        profit = best_liquidation_profit(position, params, prices)
+        records.append(
+            OpportunityRecord(
+                owner=position.owner.value,
+                collateral_usd=position.total_collateral_usd(prices),
+                debt_usd=position.total_debt_usd(prices),
+                best_profit_usd=profit,
+                is_profitable=profit > transaction_fee_usd,
+            )
+        )
+    return records
+
+
+def unprofitable_report(
+    positions: Iterable[Position],
+    params: LiquidationParams,
+    prices: Mapping[str, float],
+    thresholds: Mapping[str, float],
+    transaction_fee_usd: float,
+) -> UnprofitableReport:
+    """Aggregate counts and collateral of unprofitable liquidation opportunities."""
+    records = find_opportunities(positions, params, prices, thresholds, transaction_fee_usd)
+    unprofitable = [record for record in records if not record.is_profitable]
+    return UnprofitableReport(
+        transaction_fee_usd=transaction_fee_usd,
+        liquidatable_positions=len(records),
+        unprofitable_count=len(unprofitable),
+        unprofitable_collateral_usd=sum(record.collateral_usd for record in unprofitable),
+    )

@@ -1,0 +1,69 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+=================  =============================================================
+Module             Paper artefact
+=================  =============================================================
+fig4_accumulative  Figure 4 — accumulative liquidated collateral
+table1_overview    Table 1 — liquidations, liquidators, average profit
+fig5_monthly_profit Figure 5 — monthly liquidation profit
+fig6_gas_prices    Figure 6 — liquidation gas prices vs average
+fig7_auctions      Figure 7 / §4.3.3 — MakerDAO auction durations and bidding
+table2_bad_debt    Table 2 — Type I/II bad debts
+table3_unprofitable Table 3 — unprofitable liquidation opportunities
+table4_flash_loans Table 4 — flash-loan usage for liquidations
+fig8_sensitivity   Figure 8 — liquidation sensitivity to price declines
+stablecoin         §4.5.2 — stablecoin stability
+fig9_profit_volume Figure 9 — monthly profit-volume ratio (DAI/ETH)
+case_study         Tables 5/6 — optimal liquidation strategy case study
+mitigation         §5.2.3 — one-liquidation-per-block mitigation
+table7_price_movement Table 7 / Appendix A — post-liquidation price movements
+table8_monthly     Table 8 / Appendix B — monthly DAI/ETH liquidations
+configuration_sweep Appendix C — reasonable (LT, LS) configurations
+close_factor_ablation Ablation — close factor vs over-liquidation (§4.4.1)
+=================  =============================================================
+"""
+
+from . import (
+    case_study,
+    close_factor_ablation,
+    configuration_sweep,
+    fig4_accumulative,
+    fig5_monthly_profit,
+    fig6_gas_prices,
+    fig7_auctions,
+    fig8_sensitivity,
+    fig9_profit_volume,
+    mitigation,
+    stablecoin,
+    table1_overview,
+    table2_bad_debt,
+    table3_unprofitable,
+    table4_flash_loans,
+    table7_price_movement,
+    table8_monthly,
+)
+from .runner import EXPERIMENT_IDS, ExperimentOutput, render_all, run_all
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentOutput",
+    "case_study",
+    "close_factor_ablation",
+    "configuration_sweep",
+    "fig4_accumulative",
+    "fig5_monthly_profit",
+    "fig6_gas_prices",
+    "fig7_auctions",
+    "fig8_sensitivity",
+    "fig9_profit_volume",
+    "mitigation",
+    "render_all",
+    "run_all",
+    "stablecoin",
+    "table1_overview",
+    "table2_bad_debt",
+    "table3_unprofitable",
+    "table4_flash_loans",
+    "table7_price_movement",
+    "table8_monthly",
+]

@@ -1,0 +1,126 @@
+"""Ablation — the effect of the close factor on borrower losses.
+
+Section 4.4.1 argues that a 50 % (or 100 %) close factor over-liquidates: "a
+debt can likely be rescued by selling less than 50 % of its value".  This
+ablation quantifies that claim analytically: for a grid of close factors, it
+computes the minimal repay needed to restore health (HF = 1) versus the repay
+the close factor permits, and the resulting excess borrower loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+from ..core.optimal_strategy import SimplePosition, liquidate_simple
+from ..core.terminology import LiquidationParams
+
+
+@dataclass(frozen=True)
+class CloseFactorPoint:
+    """Outcome of one close-factor setting on a representative position."""
+
+    close_factor: float
+    repay_allowed_usd: float
+    repay_needed_usd: float
+    borrower_loss_allowed_usd: float
+    borrower_loss_needed_usd: float
+
+    @property
+    def excess_loss_usd(self) -> float:
+        """Extra borrower loss attributable to the close factor's permissiveness."""
+        return self.borrower_loss_allowed_usd - self.borrower_loss_needed_usd
+
+
+@dataclass(frozen=True)
+class CloseFactorAblation:
+    """The full close-factor sweep for one representative position."""
+
+    position: SimplePosition
+    liquidation_threshold: float
+    liquidation_spread: float
+    points: tuple[CloseFactorPoint, ...]
+
+
+def minimal_restoring_repay(position: SimplePosition, params: LiquidationParams) -> float:
+    """The smallest repay value that restores HF = 1 (requires Appendix C's prerequisite).
+
+    Solving ``(C − r(1+LS))·LT = D − r`` for ``r`` gives
+    ``r = (D − LT·C) / (1 − LT(1+LS))`` — the same expression as the optimal
+    strategy's first repay (Equation 6), because that repay is exactly the
+    point at which the position stops being liquidatable.
+    """
+    lt = params.liquidation_threshold
+    ls = params.liquidation_spread
+    return (position.debt_usd - lt * position.collateral_usd) / (1.0 - lt * (1.0 + ls))
+
+
+def compute(
+    collateral_usd: float = 100_000.0,
+    health_factor: float = 0.97,
+    liquidation_threshold: float = 0.8,
+    liquidation_spread: float = 0.08,
+    close_factors: Sequence[float] = (0.25, 0.33, 0.5, 0.75, 1.0),
+) -> CloseFactorAblation:
+    """Sweep close factors on a representative just-unhealthy position."""
+    debt_usd = collateral_usd * liquidation_threshold / health_factor
+    position = SimplePosition(collateral_usd=collateral_usd, debt_usd=debt_usd)
+    points: list[CloseFactorPoint] = []
+    for close_factor in close_factors:
+        params = LiquidationParams(
+            liquidation_threshold=liquidation_threshold,
+            liquidation_spread=liquidation_spread,
+            close_factor=close_factor,
+        )
+        repay_needed = minimal_restoring_repay(position, params)
+        repay_allowed = min(close_factor * position.debt_usd, position.debt_usd)
+        # Borrower loss equals the liquidation spread on whatever is repaid.
+        points.append(
+            CloseFactorPoint(
+                close_factor=close_factor,
+                repay_allowed_usd=repay_allowed,
+                repay_needed_usd=repay_needed,
+                borrower_loss_allowed_usd=repay_allowed * liquidation_spread,
+                borrower_loss_needed_usd=repay_needed * liquidation_spread,
+            )
+        )
+    return CloseFactorAblation(
+        position=position,
+        liquidation_threshold=liquidation_threshold,
+        liquidation_spread=liquidation_spread,
+        points=tuple(points),
+    )
+
+
+def over_liquidation_ratio(point: CloseFactorPoint) -> float:
+    """How many times more debt the close factor permits than health restoration needs."""
+    if point.repay_needed_usd <= 0:
+        return np.inf
+    return point.repay_allowed_usd / point.repay_needed_usd
+
+
+def render(data: CloseFactorAblation) -> str:
+    """Render the close-factor sweep."""
+    rows = [
+        (
+            f"{point.close_factor:.0%}",
+            usd(point.repay_allowed_usd),
+            usd(point.repay_needed_usd),
+            f"{over_liquidation_ratio(point):.1f}x",
+            usd(point.excess_loss_usd),
+        )
+        for point in data.points
+    ]
+    table = format_table(
+        ["Close factor", "Repay allowed", "Repay needed (HF=1)", "Over-liquidation", "Excess borrower loss"],
+        rows,
+    )
+    return (
+        "Ablation — close factor and over-liquidation (Section 4.4.1)\n"
+        f"Position: {usd(data.position.collateral_usd)} collateral, {usd(data.position.debt_usd)} debt, "
+        f"LT={data.liquidation_threshold:.0%}, LS={data.liquidation_spread:.0%}\n" + table
+    )

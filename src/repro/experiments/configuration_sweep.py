@@ -1,0 +1,53 @@
+"""Experiment E-APXC — Appendix C: reasonable fixed spread configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analytics.reporting import format_table
+from ..core.configuration import ConfigurationCheck, reasonable_fraction, sweep_configurations
+from ..protocols.aave import AAVE_MARKETS
+from ..protocols.compound import COMPOUND_LIQUIDATION_SPREAD, COMPOUND_MARKETS
+from ..protocols.dydx import DYDX_LIQUIDATION_SPREAD, DYDX_MARKETS
+from ..core.configuration import is_reasonable_configuration
+
+
+@dataclass(frozen=True)
+class ConfigurationData:
+    """The (LT, LS) sweep plus a check of the production parameterisations."""
+
+    checks: list[ConfigurationCheck]
+    reasonable_share: float
+    production_configs: dict[str, bool]
+
+
+def compute() -> ConfigurationData:
+    """Sweep the (LT, LS) grid and verify every production market is reasonable."""
+    checks = sweep_configurations()
+    production: dict[str, bool] = {}
+    for symbol, (threshold, spread) in AAVE_MARKETS.items():
+        production[f"Aave {symbol}"] = is_reasonable_configuration(threshold, spread)
+    for symbol, threshold in COMPOUND_MARKETS.items():
+        if threshold > 0:
+            production[f"Compound {symbol}"] = is_reasonable_configuration(threshold, COMPOUND_LIQUIDATION_SPREAD)
+    for symbol, threshold in DYDX_MARKETS.items():
+        production[f"dYdX {symbol}"] = is_reasonable_configuration(threshold, DYDX_LIQUIDATION_SPREAD)
+    return ConfigurationData(
+        checks=checks,
+        reasonable_share=reasonable_fraction(checks),
+        production_configs=production,
+    )
+
+
+def render(data: ConfigurationData) -> str:
+    """Render the sweep summary and any unreasonable production markets."""
+    unreasonable = [name for name, reasonable in data.production_configs.items() if not reasonable]
+    rows = [
+        ("Grid points evaluated", len(data.checks)),
+        ("Share satisfying 1 - LT(1+LS) > 0", f"{data.reasonable_share:.1%}"),
+        ("Production markets checked", len(data.production_configs)),
+        ("Unreasonable production markets", len(unreasonable)),
+    ]
+    table = format_table(["Statistic", "Value"], rows)
+    details = ("\nUnreasonable markets: " + ", ".join(unreasonable)) if unreasonable else ""
+    return "Appendix C — reasonable fixed spread configurations\n" + table + details

@@ -1,0 +1,36 @@
+"""Experiment E-F4 — Figure 4: accumulative liquidated collateral per platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analytics.monthly import AccumulativeSeries, accumulative_collateral_series, total_liquidated_collateral_usd
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    """The cumulative series of Figure 4 and its headline total."""
+
+    series: dict[str, AccumulativeSeries]
+    total_liquidated_usd: float
+
+
+def compute(records: list[LiquidationRecord]) -> Fig4Data:
+    """Build the Figure 4 dataset from normalised liquidation records."""
+    return Fig4Data(
+        series=accumulative_collateral_series(records),
+        total_liquidated_usd=total_liquidated_collateral_usd(records),
+    )
+
+
+def render(data: Fig4Data) -> str:
+    """Render the per-platform end-of-window totals (the curve endpoints)."""
+    rows = [
+        (platform, series.final_value_usd and usd(series.final_value_usd), len(series.blocks))
+        for platform, series in sorted(data.series.items())
+    ]
+    table = format_table(["Platform", "Accumulative collateral sold", "Liquidations"], rows)
+    return f"Figure 4 — accumulative liquidated collateral\n{table}\nTotal: {usd(data.total_liquidated_usd)}"

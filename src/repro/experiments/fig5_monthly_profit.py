@@ -1,0 +1,43 @@
+"""Experiment E-F5 — Figure 5: monthly accumulated liquidation profit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analytics.monthly import monthly_profit_by_platform, peak_month
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+from ..analytics.common import sort_months, usd
+
+
+@dataclass(frozen=True)
+class Fig5Data:
+    """Monthly profit series per platform plus each platform's outlier month."""
+
+    monthly_profit: dict[str, dict[str, float]]
+    peaks: dict[str, tuple[str, float]]
+
+
+def compute(records: list[LiquidationRecord]) -> Fig5Data:
+    """Build the Figure 5 dataset."""
+    monthly = monthly_profit_by_platform(records)
+    peaks = {}
+    for platform, months in monthly.items():
+        peak = peak_month(months)
+        if peak is not None:
+            peaks[platform] = peak
+    return Fig5Data(monthly_profit=monthly, peaks=peaks)
+
+
+def render(data: Fig5Data) -> str:
+    """Render the monthly profit matrix (months × platforms)."""
+    platforms = sorted(data.monthly_profit)
+    months = sort_months({month for series in data.monthly_profit.values() for month in series})
+    rows = []
+    for month in months:
+        rows.append([month] + [usd(data.monthly_profit[platform].get(month, 0.0)) for platform in platforms])
+    table = format_table(["Month", *platforms], rows)
+    peak_lines = [
+        f"  {platform}: peak {usd(value)} in {month}" for platform, (month, value) in sorted(data.peaks.items())
+    ]
+    return "Figure 5 — monthly liquidation profit\n" + table + "\nOutlier months:\n" + "\n".join(peak_lines)

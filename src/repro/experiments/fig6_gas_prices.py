@@ -1,0 +1,30 @@
+"""Experiment E-F6 — Figure 6: gas prices paid by liquidators."""
+
+from __future__ import annotations
+
+from ..analytics.gas_analysis import GasReport, gas_report
+from ..analytics.reporting import format_table
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> GasReport:
+    """Build the Figure 6 dataset (liquidation gas bids vs the moving average)."""
+    return gas_report(result)
+
+
+def render(report: GasReport) -> str:
+    """Render the headline statistics of Figure 6."""
+    by_platform: dict[str, list[float]] = {}
+    for point in report.points:
+        by_platform.setdefault(point.platform, []).append(point.gas_price_gwei)
+    rows = [
+        (platform, len(values), f"{sum(values) / len(values):,.1f}", f"{max(values):,.1f}")
+        for platform, values in sorted(by_platform.items())
+    ]
+    table = format_table(["Platform", "Liquidation txs", "Mean gas (gwei)", "Max gas (gwei)"], rows)
+    return (
+        "Figure 6 — liquidation gas prices\n"
+        + table
+        + f"\nShare of liquidations above the 1-day average gas price: {report.share_above_average:.2%}"
+        + f"\nMaximum liquidation gas bid: {report.max_gas_price_gwei:,.1f} gwei"
+    )

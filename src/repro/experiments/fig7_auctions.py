@@ -1,0 +1,36 @@
+"""Experiment E-F7 — Figure 7 and Section 4.3.3: MakerDAO auction dynamics."""
+
+from __future__ import annotations
+
+from ..analytics.auction_analysis import AuctionReport, auction_report
+from ..analytics.reporting import format_table
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> AuctionReport:
+    """Build the auction duration / bidding dataset."""
+    return auction_report(result)
+
+
+def render(report: AuctionReport) -> str:
+    """Render the Section 4.3.3 auction statistics."""
+    rows = [
+        ("Settled auctions", report.settled_auctions),
+        ("Terminated in tend phase", report.tend_terminations),
+        ("Terminated in dent phase", report.dent_terminations),
+        ("Mean bids per auction", f"{report.mean_bids_per_auction:.2f}"),
+        ("Mean bidders per auction", f"{report.mean_bidders_per_auction:.2f}"),
+        ("Mean duration (hours)", f"{report.mean_duration_hours:.2f}"),
+        ("Std duration (hours)", f"{report.std_duration_hours:.2f}"),
+        ("Max duration (hours)", f"{report.max_duration_hours:.2f}"),
+        ("Mean first-bid delay (minutes)", f"{report.mean_first_bid_delay_minutes:.2f}"),
+        ("Mean bid interval (minutes)", f"{report.mean_bid_interval_minutes:.2f}"),
+        ("Auctions with more than one bid", report.auctions_with_multiple_bids),
+    ]
+    table = format_table(["Statistic", "Value"], rows)
+    config_rows = [
+        (change.block_number, f"{change.auction_length_hours:.1f}", f"{change.bid_duration_hours:.1f}")
+        for change in report.config_changes
+    ]
+    config_table = format_table(["Configured at block", "Auction length (h)", "Bid duration (h)"], config_rows)
+    return "Figure 7 / Section 4.3.3 — MakerDAO auctions\n" + table + "\n\nConfigured parameters:\n" + config_table

@@ -1,0 +1,33 @@
+"""Experiment E-F8 — Figure 8: liquidation sensitivity to price declines."""
+
+from __future__ import annotations
+
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+from ..analytics.sensitivity_analysis import PlatformSensitivity, sensitivity_figure
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> dict[str, PlatformSensitivity]:
+    """Build the four Figure 8 panels at the final block of the run."""
+    return sensitivity_figure(result)
+
+
+def render(figure: dict[str, PlatformSensitivity]) -> str:
+    """Render each platform's ETH sensitivity curve plus the headline points."""
+    sections: list[str] = ["Figure 8 — liquidation sensitivity to price declines"]
+    for platform, panel in figure.items():
+        eth_curve = panel.curve("ETH")
+        rows = [
+            (f"{point.decline:.0%}", usd(point.liquidatable_collateral_usd))
+            for point in eth_curve
+            if round(point.decline * 100) % 20 == 0
+        ]
+        table = format_table(["ETH decline", "Liquidatable collateral"], rows)
+        at_43 = panel.liquidatable_at("ETH", 0.43)
+        sections.append(
+            f"\n{platform} (most sensitive currency: {panel.most_sensitive_symbol})\n"
+            f"{table}\n"
+            f"Liquidatable at a 43% ETH decline: {usd(at_43)}"
+        )
+    return "\n".join(sections)

@@ -1,0 +1,33 @@
+"""Experiment E-F9 — Figure 9: monthly profit-volume ratio (DAI/ETH market)."""
+
+from __future__ import annotations
+
+from ..analytics.profit_volume import ProfitVolumeReport, profit_volume_report
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult, records: list[LiquidationRecord]) -> ProfitVolumeReport:
+    """Build the Figure 9 dataset (DAI debt, ETH collateral)."""
+    return profit_volume_report(result, records)
+
+
+def render(report: ProfitVolumeReport) -> str:
+    """Render the per-platform ratio summary and the borrower-friendliness ranking."""
+    rows = [
+        (
+            platform,
+            f"{report.median_ratios.get(platform, 0.0):.3e}",
+            f"{report.average_ratios.get(platform, 0.0):.3e}",
+            len(report.platform_points(platform)),
+        )
+        for platform in sorted(report.median_ratios)
+    ]
+    table = format_table(["Platform", "Median monthly ratio", "Mean monthly ratio", "Months"], rows)
+    ranking = " < ".join(report.ranking)
+    return (
+        "Figure 9 — monthly profit-volume ratio (DAI/ETH)\n"
+        + table
+        + f"\nBorrower-friendliness ranking (lower ratio is better for borrowers): {ranking}"
+    )

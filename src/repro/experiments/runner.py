@@ -1,0 +1,123 @@
+"""Run every experiment against one simulation result.
+
+``run_all`` executes each table/figure harness and returns the computed data
+keyed by experiment id; ``render_all`` produces the full text report.  The
+``__main__`` hook runs the small scenario so that
+
+    python -m repro.experiments.runner
+
+prints a complete (reduced-scale) reproduction report without any setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..analytics.records import extract_liquidations
+from ..simulation.config import ScenarioConfig
+from ..simulation.engine import SimulationResult
+from ..simulation.scenarios import run_scenario
+from . import (
+    case_study,
+    close_factor_ablation,
+    configuration_sweep,
+    fig4_accumulative,
+    fig5_monthly_profit,
+    fig6_gas_prices,
+    fig7_auctions,
+    fig8_sensitivity,
+    fig9_profit_volume,
+    mitigation,
+    stablecoin,
+    table1_overview,
+    table2_bad_debt,
+    table3_unprofitable,
+    table4_flash_loans,
+    table7_price_movement,
+    table8_monthly,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """One experiment's computed data and rendered report."""
+
+    experiment_id: str
+    title: str
+    data: Any
+    report: str
+
+
+#: Experiment ids in the order they appear in the paper.
+EXPERIMENT_IDS = (
+    "fig4",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table2",
+    "table3",
+    "table4",
+    "fig8",
+    "stablecoin",
+    "fig9",
+    "case_study",
+    "mitigation",
+    "table7",
+    "table8",
+    "configuration",
+    "close_factor",
+)
+
+
+def run_all(result: SimulationResult) -> dict[str, ExperimentOutput]:
+    """Execute every experiment harness against ``result``."""
+    records = extract_liquidations(result)
+    outputs: dict[str, ExperimentOutput] = {}
+
+    def add(experiment_id: str, title: str, data: Any, renderer: Callable[[Any], str]) -> None:
+        outputs[experiment_id] = ExperimentOutput(
+            experiment_id=experiment_id, title=title, data=data, report=renderer(data)
+        )
+
+    add("fig4", "Figure 4 — accumulative liquidated collateral", fig4_accumulative.compute(records), fig4_accumulative.render)
+    add("table1", "Table 1 — liquidation overview", table1_overview.compute(records), table1_overview.render)
+    add("fig5", "Figure 5 — monthly liquidation profit", fig5_monthly_profit.compute(records), fig5_monthly_profit.render)
+    add("fig6", "Figure 6 — liquidation gas prices", fig6_gas_prices.compute(result), fig6_gas_prices.render)
+    add("fig7", "Figure 7 — MakerDAO auctions", fig7_auctions.compute(result), fig7_auctions.render)
+    add("table2", "Table 2 — bad debts", table2_bad_debt.compute(result), table2_bad_debt.render)
+    add("table3", "Table 3 — unprofitable liquidations", table3_unprofitable.compute(result), table3_unprofitable.render)
+    add("table4", "Table 4 — flash loan usage", table4_flash_loans.compute(result), table4_flash_loans.render)
+    add("fig8", "Figure 8 — liquidation sensitivity", fig8_sensitivity.compute(result), fig8_sensitivity.render)
+    add("stablecoin", "Section 4.5.2 — stablecoin stability", stablecoin.compute(result), stablecoin.render)
+    add("fig9", "Figure 9 — profit-volume ratio", fig9_profit_volume.compute(result, records), fig9_profit_volume.render)
+    add("case_study", "Tables 5/6 — optimal strategy case study", case_study.compute(), case_study.render)
+    add("mitigation", "Section 5.2.3 — mitigation", mitigation.compute(), mitigation.render)
+    add("table7", "Table 7 — post-liquidation price movement", table7_price_movement.compute(result, records), table7_price_movement.render)
+    add("table8", "Table 8 — monthly DAI/ETH liquidations", table8_monthly.compute(records), table8_monthly.render)
+    add("configuration", "Appendix C — reasonable configurations", configuration_sweep.compute(), configuration_sweep.render)
+    add("close_factor", "Ablation — close factor", close_factor_ablation.compute(), close_factor_ablation.render)
+    return outputs
+
+
+def render_all(outputs: dict[str, ExperimentOutput]) -> str:
+    """Concatenate every experiment's rendered report."""
+    sections = []
+    for experiment_id in EXPERIMENT_IDS:
+        output = outputs.get(experiment_id)
+        if output is None:
+            continue
+        sections.append(output.report)
+    return "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def main(config: ScenarioConfig | None = None) -> str:
+    """Run the scenario, execute every experiment and return the full report."""
+    result = run_scenario(config or ScenarioConfig.small())
+    outputs = run_all(result)
+    return render_all(outputs)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(main())

@@ -1,0 +1,27 @@
+"""Experiment E-S452 — Section 4.5.2: stability of the stablecoin strategy."""
+
+from __future__ import annotations
+
+from ..analytics.stablecoin_analysis import StablecoinStabilityReport, stablecoin_stability
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> StablecoinStabilityReport:
+    """Measure pairwise stablecoin price differences over the last year of the run."""
+    final_block = result.final_block
+    one_year_blocks = 365 * 24 * 3600 // result.chain.config.seconds_per_block
+    from_block = max(result.engine.feed.start_block, final_block - one_year_blocks)
+    return stablecoin_stability(result, from_block=from_block, to_block=final_block)
+
+
+def render(report: StablecoinStabilityReport) -> str:
+    """Render the Section 4.5.2 statistics."""
+    pair = " / ".join(report.max_difference_pair)
+    return (
+        "Section 4.5.2 — stablecoin stability\n"
+        f"Blocks sampled: {report.blocks_measured}\n"
+        f"Share of blocks with pairwise differences within {report.threshold:.0%}: "
+        f"{report.within_threshold_share:.2%}\n"
+        f"Maximum difference: {report.max_difference:.2%} ({pair}) at block {report.max_difference_block}\n"
+        f"Stablecoin borrowing strategy stable: {report.is_strategy_stable}"
+    )

@@ -1,0 +1,43 @@
+"""Experiment E-T1 — Table 1: liquidations, liquidators and average profit."""
+
+from __future__ import annotations
+
+from ..analytics.profits import ProfitReport, profit_report
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+
+
+def compute(records: list[LiquidationRecord]) -> ProfitReport:
+    """Build Table 1 from the normalised liquidation records."""
+    return profit_report(records)
+
+
+def render(report: ProfitReport) -> str:
+    """Render Table 1 plus the Section 4.3.1 headline statistics."""
+    rows = [
+        (row.platform, row.liquidations, row.liquidators, usd(row.average_profit_per_liquidator_usd))
+        for row in report.rows
+    ]
+    rows.append(
+        ("Total", report.total_liquidations, report.total_liquidators, usd(report.average_profit_per_liquidator_usd))
+    )
+    table = format_table(["Platform", "Liquidations", "Liquidators", "Average Profit"], rows)
+    lines = [
+        "Table 1 — liquidations, liquidators and average profit",
+        table,
+        f"Total liquidation profit: {usd(report.total_profit_usd)}",
+        f"Unprofitable liquidations: {report.unprofitable_liquidations} "
+        f"(loss {usd(abs(report.unprofitable_loss_usd))})",
+    ]
+    if report.most_active is not None:
+        lines.append(
+            f"Most active liquidator: {report.most_active.liquidations} liquidations, "
+            f"{usd(report.most_active.total_profit_usd)} profit"
+        )
+    if report.most_profitable is not None:
+        lines.append(
+            f"Most profitable liquidator: {usd(report.most_profitable.total_profit_usd)} in "
+            f"{report.most_profitable.liquidations} liquidations"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Experiment E-T2 — Table 2: Type I/II bad debts at the snapshot block."""
+
+from __future__ import annotations
+
+from ..analytics.bad_debt_analysis import PlatformBadDebt, bad_debt_table
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> dict[str, PlatformBadDebt]:
+    """Build Table 2 at the final block of the run."""
+    return bad_debt_table(result)
+
+
+def render(table: dict[str, PlatformBadDebt]) -> str:
+    """Render Table 2: Type I plus Type II at 10 / 100 USD closing fees."""
+    rows = []
+    for platform, entry in table.items():
+        type_ii_10 = entry.type_ii_by_fee.get(10.0)
+        type_ii_100 = entry.type_ii_by_fee.get(100.0)
+        rows.append(
+            (
+                platform,
+                f"{entry.type_i_count} ({entry.type_i_share:.1%}) / {usd(entry.type_i_collateral_usd)}",
+                f"{type_ii_10.type_ii_count if type_ii_10 else 0} / "
+                f"{usd(type_ii_10.type_ii_collateral_usd) if type_ii_10 else '-'}",
+                f"{type_ii_100.type_ii_count if type_ii_100 else 0} / "
+                f"{usd(type_ii_100.type_ii_collateral_usd) if type_ii_100 else '-'}",
+            )
+        )
+    table_text = format_table(
+        ["Platform", "Type I (count / collateral)", "Type II ≤10 USD", "Type II ≤100 USD"], rows
+    )
+    return "Table 2 — Type I/II bad debts at the snapshot block\n" + table_text

@@ -1,0 +1,33 @@
+"""Experiment E-T3 — Table 3: unprofitable liquidation opportunities."""
+
+from __future__ import annotations
+
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+from ..analytics.unprofitable_analysis import UnprofitableCell, unprofitable_table
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> dict[str, dict[float, UnprofitableCell]]:
+    """Build Table 3 at the final block of the run."""
+    return unprofitable_table(result)
+
+
+def render(table: dict[str, dict[float, UnprofitableCell]]) -> str:
+    """Render Table 3: unprofitable opportunities at 10 / 100 USD fees."""
+    rows = []
+    for platform, cells in table.items():
+        cell_10 = cells.get(10.0)
+        cell_100 = cells.get(100.0)
+
+        def describe(cell: UnprofitableCell | None) -> str:
+            if cell is None or cell.liquidatable_positions == 0:
+                return "-"
+            return (
+                f"{cell.unprofitable_count} ({cell.unprofitable_share:.1%}) / "
+                f"{usd(cell.unprofitable_collateral_usd)}"
+            )
+
+        rows.append((platform, describe(cell_10), describe(cell_100)))
+    table_text = format_table(["Platform", "Fee ≤10 USD", "Fee ≤100 USD"], rows)
+    return "Table 3 — unprofitable liquidation opportunities\n" + table_text

@@ -1,0 +1,29 @@
+"""Experiment E-T4 — Table 4: flash-loan usage for liquidations."""
+
+from __future__ import annotations
+
+from ..analytics.flashloan_analysis import FlashLoanReport, flash_loan_report
+from ..analytics.reporting import format_table
+from ..analytics.common import usd
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult) -> FlashLoanReport:
+    """Build Table 4 from the chain's flash-loan events."""
+    return flash_loan_report(result)
+
+
+def render(report: FlashLoanReport) -> str:
+    """Render Table 4: liquidation platform × flash-loan platform."""
+    rows = [
+        (row.liquidation_platform, row.flash_loan_platform, row.flash_loans, usd(row.accumulative_amount_usd))
+        for row in report.rows
+    ]
+    table = format_table(
+        ["Liquidation Platform", "Flash Loan Platform", "Flash Loans", "Accumulative Amount"], rows
+    )
+    return (
+        "Table 4 — flash loan usages for liquidations\n"
+        + table
+        + f"\nTotal: {report.total_flash_loans} flash loans, {usd(report.total_amount_usd)}"
+    )

@@ -1,0 +1,36 @@
+"""Experiment E-T7 — Table 7 / Appendix A: post-liquidation price movements."""
+
+from __future__ import annotations
+
+from ..analytics.price_movement import PriceMovement, PriceMovementReport, price_movement_report
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+from ..simulation.engine import SimulationResult
+
+
+def compute(result: SimulationResult, records: list[LiquidationRecord]) -> PriceMovementReport:
+    """Classify the post-liquidation collateral price path of every liquidation."""
+    return price_movement_report(result, records)
+
+
+def render(report: PriceMovementReport) -> str:
+    """Render Table 7's counts and rise/fall magnitudes."""
+    counts = report.counts()
+    rows = []
+    for movement in PriceMovement:
+        count = counts.get(movement, 0)
+        rows.append(
+            (
+                movement.value,
+                count,
+                f"{report.mean_max_rise(movement):.2%}" if count else "-",
+                f"{report.mean_max_fall(movement):.2%}" if count else "-",
+            )
+        )
+    table = format_table(["Price movement", "Liquidations", "Mean max rise", "Mean max fall"], rows)
+    return (
+        "Table 7 — post-liquidation collateral price movements\n"
+        + table
+        + f"\nShare of liquidations still below the liquidation price at the window end: "
+        + f"{report.share_below_at_window_end:.2%}"
+    )

@@ -1,0 +1,23 @@
+"""Experiment E-T8 — Table 8 / Appendix B: monthly DAI/ETH liquidation counts."""
+
+from __future__ import annotations
+
+from ..analytics.monthly import monthly_liquidation_counts, monthly_table
+from ..analytics.records import LiquidationRecord
+from ..analytics.reporting import format_table
+
+
+def compute(records: list[LiquidationRecord]) -> dict[str, dict[str, int]]:
+    """Monthly liquidation counts for the DAI-debt / ETH-collateral market."""
+    return monthly_liquidation_counts(records, debt_symbol="DAI", collateral_symbol="ETH")
+
+
+def render(counts: dict[str, dict[str, int]]) -> str:
+    """Render Table 8 (months × platforms)."""
+    platforms = sorted(counts)
+    rows = monthly_table(counts, platforms)
+    table = format_table(
+        ["Month", *platforms],
+        [[row["month"], *[row[platform] for platform in platforms]] for row in rows],
+    )
+    return "Table 8 — monthly DAI/ETH liquidations\n" + table

@@ -1,0 +1,5 @@
+"""Flash-loan substrate with atomic revert semantics."""
+
+from .pool import FlashLoanError, FlashLoanPool, FlashLoanProvider
+
+__all__ = ["FlashLoanError", "FlashLoanPool", "FlashLoanProvider"]

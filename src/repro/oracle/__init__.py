@@ -1,0 +1,27 @@
+"""Price oracles and synthetic market price feeds."""
+
+from .chainlink import OracleConfig, PriceOracle
+from .feed import PriceFeed, UnknownSymbol
+from .paths import (
+    AssetPathConfig,
+    DEFAULT_STEPS_PER_YEAR,
+    Shock,
+    apply_shocks,
+    build_series,
+    gbm_path,
+    stablecoin_path,
+)
+
+__all__ = [
+    "AssetPathConfig",
+    "DEFAULT_STEPS_PER_YEAR",
+    "OracleConfig",
+    "PriceFeed",
+    "PriceOracle",
+    "Shock",
+    "UnknownSymbol",
+    "apply_shocks",
+    "build_series",
+    "gbm_path",
+    "stablecoin_path",
+]

@@ -1,0 +1,72 @@
+"""The four studied lending protocols: Aave (V1/V2), Compound, dYdX, MakerDAO."""
+
+from .aave import (
+    AAVE_CLOSE_FACTOR,
+    AAVE_MARKETS,
+    AAVE_V1_INCEPTION_BLOCK,
+    AAVE_V2_INCEPTION_BLOCK,
+    AaveProtocol,
+    make_aave_v1,
+    make_aave_v2,
+)
+from .base import LendingProtocol, MarketConfig, ProtocolError
+from .compound import (
+    COMPOUND_CLOSE_FACTOR,
+    COMPOUND_INCEPTION_BLOCK,
+    COMPOUND_LIQUIDATION_SPREAD,
+    COMPOUND_MARKETS,
+    CompoundProtocol,
+    make_compound,
+)
+from .dydx import (
+    DYDX_CLOSE_FACTOR,
+    DYDX_INCEPTION_BLOCK,
+    DYDX_LIQUIDATION_SPREAD,
+    DYDX_MARKETS,
+    DydxProtocol,
+    make_dydx,
+)
+from .fixed_spread_protocol import FixedSpreadProtocol, LiquidationResult
+from .interest import BLOCKS_PER_YEAR, KinkedRateModel, StabilityFeeModel
+from .makerdao import (
+    AuctionSettlement,
+    MAKERDAO_COLLATERAL,
+    MAKERDAO_INCEPTION_BLOCK,
+    MakerDAOProtocol,
+    make_makerdao,
+)
+
+__all__ = [
+    "AAVE_CLOSE_FACTOR",
+    "AAVE_MARKETS",
+    "AAVE_V1_INCEPTION_BLOCK",
+    "AAVE_V2_INCEPTION_BLOCK",
+    "AaveProtocol",
+    "AuctionSettlement",
+    "BLOCKS_PER_YEAR",
+    "COMPOUND_CLOSE_FACTOR",
+    "COMPOUND_INCEPTION_BLOCK",
+    "COMPOUND_LIQUIDATION_SPREAD",
+    "COMPOUND_MARKETS",
+    "CompoundProtocol",
+    "DYDX_CLOSE_FACTOR",
+    "DYDX_INCEPTION_BLOCK",
+    "DYDX_LIQUIDATION_SPREAD",
+    "DYDX_MARKETS",
+    "DydxProtocol",
+    "FixedSpreadProtocol",
+    "KinkedRateModel",
+    "LendingProtocol",
+    "LiquidationResult",
+    "MAKERDAO_COLLATERAL",
+    "MAKERDAO_INCEPTION_BLOCK",
+    "MakerDAOProtocol",
+    "MarketConfig",
+    "ProtocolError",
+    "StabilityFeeModel",
+    "make_aave_v1",
+    "make_aave_v2",
+    "make_compound",
+    "make_dydx",
+    "make_makerdao",
+]

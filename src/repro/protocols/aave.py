@@ -1,0 +1,104 @@
+"""Aave V1 and V2 (Section 3.3).
+
+Aave is a pool-based protocol with a 50 % close factor and per-market
+liquidation spreads between 5 % and 15 %, priced by an external Chainlink
+oracle.  V2 (December 2020) kept the core protocol "nearly unchanged"; the
+two versions are modelled as separate protocol instances with different
+inception blocks and market mixes (V2 borrowers prefer multi-asset
+collateral, which is what makes Aave V2 less sensitive in Figure 8a).
+"""
+
+from __future__ import annotations
+
+from ..chain.chain import Blockchain
+from ..oracle.chainlink import PriceOracle
+from ..tokens.registry import TokenRegistry
+from .base import MarketConfig
+from .fixed_spread_protocol import FixedSpreadProtocol
+
+#: The inception blocks reported in footnote 5 of the paper.
+AAVE_V1_INCEPTION_BLOCK = 9_241_022
+#: Aave V2 launched in December 2020.
+AAVE_V2_INCEPTION_BLOCK = 11_360_000
+
+#: Default Aave market parameters: (liquidation threshold, liquidation spread).
+AAVE_MARKETS: dict[str, tuple[float, float]] = {
+    "ETH": (0.80, 0.05),
+    "WBTC": (0.75, 0.10),
+    "DAI": (0.80, 0.05),
+    "USDC": (0.85, 0.05),
+    "USDT": (0.80, 0.05),
+    "TUSD": (0.80, 0.05),
+    "LINK": (0.70, 0.10),
+    "UNI": (0.65, 0.10),
+    "AAVE": (0.65, 0.10),
+    "YFI": (0.55, 0.15),
+    "SNX": (0.40, 0.10),
+    "KNC": (0.65, 0.10),
+    "MANA": (0.60, 0.10),
+    "ZRX": (0.65, 0.10),
+    "BAT": (0.65, 0.10),
+    "ENJ": (0.60, 0.10),
+    "REN": (0.60, 0.125),
+    "CRV": (0.45, 0.15),
+    "BAL": (0.45, 0.10),
+    "MKR": (0.65, 0.10),
+}
+
+#: Aave allows at most 50 % of the outstanding debt per liquidation call.
+AAVE_CLOSE_FACTOR = 0.5
+
+
+class AaveProtocol(FixedSpreadProtocol):
+    """Aave-style pool with per-market spreads and a 50 % close factor."""
+
+    LIQUIDATION_EVENT = "LiquidationCall"
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        oracle: PriceOracle,
+        registry: TokenRegistry,
+        version: int = 2,
+        markets: dict[str, tuple[float, float]] | None = None,
+        inception_block: int | None = None,
+    ) -> None:
+        if version not in (1, 2):
+            raise ValueError("Aave version must be 1 or 2")
+        name = f"Aave V{version}"
+        if inception_block is None:
+            inception_block = AAVE_V1_INCEPTION_BLOCK if version == 1 else AAVE_V2_INCEPTION_BLOCK
+        super().__init__(
+            name=name,
+            chain=chain,
+            oracle=oracle,
+            registry=registry,
+            close_factor=AAVE_CLOSE_FACTOR,
+            inception_block=inception_block,
+        )
+        self.version = version
+        for symbol, (threshold, spread) in (markets or AAVE_MARKETS).items():
+            if symbol in registry or True:
+                registry.ensure(symbol)
+                self.add_market(
+                    MarketConfig(
+                        symbol=symbol,
+                        liquidation_threshold=threshold,
+                        liquidation_spread=spread,
+                    )
+                )
+
+
+def make_aave_v1(chain: Blockchain, oracle: PriceOracle, registry: TokenRegistry) -> AaveProtocol:
+    """Aave V1 with the paper's inception block and a reduced market mix."""
+    v1_markets = {
+        symbol: params
+        for symbol, params in AAVE_MARKETS.items()
+        if symbol in {"ETH", "DAI", "USDC", "USDT", "WBTC", "LINK", "BAT", "ZRX", "KNC", "MKR", "SNX"}
+    }
+    return AaveProtocol(chain, oracle, registry, version=1, markets=v1_markets)
+
+
+def make_aave_v2(chain: Blockchain, oracle: PriceOracle, registry: TokenRegistry) -> AaveProtocol:
+    """Aave V2 with the full market mix of Figure 8a."""
+    return AaveProtocol(chain, oracle, registry, version=2, markets=AAVE_MARKETS)

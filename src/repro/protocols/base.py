@@ -1,0 +1,336 @@
+"""Shared lending-pool machinery used by all four protocol implementations.
+
+The paper's system model (Figure 1) has lenders/borrowers interacting with a
+pool contract, a price oracle feeding prices, and liquidators closing
+unhealthy positions.  :class:`LendingProtocol` implements the pool: asset
+custody through the token ledgers, per-market configuration, interest
+accrual, position accounting, and the health-factor queries the analytics
+layer and the agents need.  Protocol-specific liquidation flows live in the
+subclasses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..chain.chain import Blockchain
+from ..chain.types import Address, make_address
+from ..core.position import DUST, Position
+from ..core.terminology import LiquidationParams
+from ..oracle.chainlink import PriceOracle
+from ..tokens.registry import TokenRegistry
+from .interest import KinkedRateModel
+
+
+class ProtocolError(Exception):
+    """Raised on user actions that the protocol rules forbid."""
+
+
+@dataclass
+class MarketConfig:
+    """Per-asset market parameters of a lending pool.
+
+    Attributes
+    ----------
+    symbol:
+        Asset symbol of the market.
+    liquidation_threshold:
+        LT for this asset when used as collateral.
+    liquidation_spread:
+        LS paid to liquidators seizing this collateral.
+    collateral_enabled / borrow_enabled:
+        Whether the asset may be used as collateral / borrowed.
+    """
+
+    symbol: str
+    liquidation_threshold: float
+    liquidation_spread: float
+    collateral_enabled: bool = True
+    borrow_enabled: bool = True
+    interest_model: KinkedRateModel = field(default_factory=KinkedRateModel)
+
+
+class LendingProtocol(abc.ABC):
+    """Base class of the four studied lending protocols."""
+
+    #: Name of the liquidation event emitted by the concrete protocol.
+    LIQUIDATION_EVENT = "Liquidation"
+
+    def __init__(
+        self,
+        name: str,
+        chain: Blockchain,
+        oracle: PriceOracle,
+        registry: TokenRegistry,
+        close_factor: float,
+        inception_block: int | None = None,
+    ) -> None:
+        self.name = name
+        self.chain = chain
+        self.oracle = oracle
+        self.registry = registry
+        self.close_factor = close_factor
+        self.address = make_address(name)
+        self.markets: dict[str, MarketConfig] = {}
+        self.positions: dict[Address, Position] = {}
+        self.inception_block = chain.current_block if inception_block is None else inception_block
+        self._total_borrowed_usd_estimate = 0.0
+        self._last_accrual_block = self.chain.current_block
+        chain.register_snapshot_provider(self.name, self.snapshot)
+
+    # ------------------------------------------------------------------ #
+    # Market configuration
+    # ------------------------------------------------------------------ #
+    def add_market(self, market: MarketConfig) -> MarketConfig:
+        """Register a market (idempotent per symbol)."""
+        self.markets[market.symbol.upper()] = market
+        return market
+
+    def market(self, symbol: str) -> MarketConfig:
+        """Return the market config for ``symbol`` or raise :class:`ProtocolError`."""
+        try:
+            return self.markets[symbol.upper()]
+        except KeyError as exc:
+            raise ProtocolError(f"{self.name} has no {symbol} market") from exc
+
+    def liquidation_thresholds(self) -> dict[str, float]:
+        """Per-asset LT mapping used by health-factor computations."""
+        return {symbol: market.liquidation_threshold for symbol, market in self.markets.items()}
+
+    def params_for(self, collateral_symbol: str) -> LiquidationParams:
+        """Liquidation parameters applicable when seizing ``collateral_symbol``."""
+        market = self.market(collateral_symbol)
+        return LiquidationParams(
+            liquidation_threshold=market.liquidation_threshold,
+            liquidation_spread=market.liquidation_spread,
+            close_factor=self.close_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prices
+    # ------------------------------------------------------------------ #
+    def prices(self) -> dict[str, float]:
+        """Latest oracle prices for every configured market."""
+        return {symbol: self.oracle.price(symbol) for symbol in self.markets}
+
+    # ------------------------------------------------------------------ #
+    # Positions
+    # ------------------------------------------------------------------ #
+    def position_of(self, user: Address) -> Position:
+        """Return (creating if needed) the position of ``user``."""
+        if user not in self.positions:
+            self.positions[user] = Position(owner=user)
+        return self.positions[user]
+
+    def open_positions(self) -> list[Position]:
+        """Positions that still carry debt or collateral."""
+        return [position for position in self.positions.values() if not position.is_empty]
+
+    def positions_with_debt(self) -> list[Position]:
+        """Positions that still owe debt."""
+        return [position for position in self.positions.values() if position.has_debt]
+
+    def health_factor(self, user: Address) -> float:
+        """Current health factor of ``user``'s position."""
+        return self.position_of(user).health_factor(self.prices(), self.liquidation_thresholds())
+
+    def is_liquidatable(self, user: Address) -> bool:
+        """Whether ``user``'s position can currently be liquidated."""
+        return self.position_of(user).is_liquidatable(self.prices(), self.liquidation_thresholds())
+
+    def liquidatable_positions(self) -> list[Position]:
+        """All positions whose health factor is below 1 at current prices."""
+        prices = self.prices()
+        thresholds = self.liquidation_thresholds()
+        return [
+            position
+            for position in self.positions.values()
+            if position.has_debt and position.is_liquidatable(prices, thresholds)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # User actions (Figure 1: collateralize / borrow / repay / withdraw)
+    # ------------------------------------------------------------------ #
+    def deposit(self, user: Address, symbol: str, amount: float) -> None:
+        """Deposit ``amount`` of ``symbol`` as collateral."""
+        market = self.market(symbol)
+        if not market.collateral_enabled:
+            raise ProtocolError(f"{symbol} cannot be used as collateral on {self.name}")
+        if amount <= 0:
+            raise ProtocolError("deposit amount must be positive")
+        token = self.registry.get(symbol)
+        token.transfer(user, self.address, amount)
+        self.position_of(user).add_collateral(market.symbol, amount)
+        self.chain.emit_event(
+            "Deposit",
+            emitter=self.address,
+            data={"platform": self.name, "user": user.value, "symbol": market.symbol, "amount": amount},
+        )
+
+    def borrow(self, user: Address, symbol: str, amount: float) -> None:
+        """Borrow ``amount`` of ``symbol`` against the caller's collateral."""
+        market = self.market(symbol)
+        if not market.borrow_enabled:
+            raise ProtocolError(f"{symbol} cannot be borrowed on {self.name}")
+        if amount <= 0:
+            raise ProtocolError("borrow amount must be positive")
+        token = self.registry.get(symbol)
+        if token.balance_of(self.address) < amount:
+            raise ProtocolError(f"{self.name} lacks {symbol} liquidity for the requested borrow")
+        prices = self.prices()
+        thresholds = self.liquidation_thresholds()
+        position = self.position_of(user)
+        prospective = position.copy()
+        prospective.add_debt(market.symbol, amount)
+        if prospective.health_factor(prices, thresholds) < 1.0:
+            raise ProtocolError("borrow would exceed the borrowing capacity")
+        token.transfer(self.address, user, amount)
+        position.add_debt(market.symbol, amount)
+        self._total_borrowed_usd_estimate += amount * prices.get(market.symbol, 0.0)
+        self.chain.emit_event(
+            "Borrow",
+            emitter=self.address,
+            data={"platform": self.name, "user": user.value, "symbol": market.symbol, "amount": amount},
+        )
+
+    def repay(self, user: Address, symbol: str, amount: float, payer: Address | None = None) -> float:
+        """Repay up to ``amount`` of the user's ``symbol`` debt; returns the amount repaid."""
+        market = self.market(symbol)
+        position = self.position_of(user)
+        owed = position.debt.get(market.symbol, 0.0)
+        if owed <= DUST:
+            raise ProtocolError(f"{user} owes no {symbol} on {self.name}")
+        repay_amount = min(amount, owed)
+        source = payer or user
+        token = self.registry.get(symbol)
+        token.transfer(source, self.address, repay_amount)
+        position.reduce_debt(market.symbol, repay_amount)
+        self.chain.emit_event(
+            "Repay",
+            emitter=self.address,
+            data={"platform": self.name, "user": user.value, "symbol": market.symbol, "amount": repay_amount},
+        )
+        return repay_amount
+
+    def withdraw(self, user: Address, symbol: str, amount: float) -> None:
+        """Withdraw collateral, provided the position stays healthy."""
+        market = self.market(symbol)
+        position = self.position_of(user)
+        held = position.collateral.get(market.symbol, 0.0)
+        if amount > held + DUST:
+            raise ProtocolError(f"cannot withdraw {amount} {symbol}; only {held} deposited")
+        prospective = position.copy()
+        prospective.remove_collateral(market.symbol, amount)
+        if prospective.has_debt and prospective.health_factor(self.prices(), self.liquidation_thresholds()) < 1.0:
+            raise ProtocolError("withdrawal would make the position liquidatable")
+        token = self.registry.get(symbol)
+        token.transfer(self.address, user, amount)
+        position.remove_collateral(market.symbol, amount)
+        self.chain.emit_event(
+            "Withdraw",
+            emitter=self.address,
+            data={"platform": self.name, "user": user.value, "symbol": market.symbol, "amount": amount},
+        )
+
+    def supply_liquidity(self, lender: Address, symbol: str, amount: float) -> None:
+        """Lender-side deposit: adds pool liquidity without opening a position."""
+        market = self.market(symbol)
+        token = self.registry.get(symbol)
+        token.transfer(lender, self.address, amount)
+        self.chain.emit_event(
+            "Supply",
+            emitter=self.address,
+            data={"platform": self.name, "user": lender.value, "symbol": market.symbol, "amount": amount},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interest
+    # ------------------------------------------------------------------ #
+    def utilization(self, symbol: str) -> float:
+        """Borrowed share of the pool's liquidity for ``symbol`` (rough estimate)."""
+        token = self.registry.get(symbol)
+        available = token.balance_of(self.address)
+        borrowed = sum(position.debt.get(symbol.upper(), 0.0) for position in self.positions.values())
+        total = available + borrowed
+        if total <= 0:
+            return 0.0
+        return borrowed / total
+
+    def accrue_interest(self, to_block: int | None = None) -> None:
+        """Grow every outstanding debt by the per-market accrual factor."""
+        block = self.chain.current_block if to_block is None else to_block
+        elapsed = block - self._last_accrual_block
+        if elapsed <= 0:
+            return
+        factors = {
+            symbol: market.interest_model.accrual_factor(self.utilization(symbol), elapsed)
+            for symbol, market in self.markets.items()
+        }
+        for position in self.positions.values():
+            for symbol in list(position.debt):
+                position.debt[symbol] *= factors.get(symbol, 1.0)
+        self._last_accrual_block = block
+
+    # ------------------------------------------------------------------ #
+    # Aggregates and snapshots
+    # ------------------------------------------------------------------ #
+    def total_collateral_usd(self) -> float:
+        """Total USD value of collateral locked in the protocol."""
+        prices = self.prices()
+        return sum(position.total_collateral_usd(prices) for position in self.positions.values())
+
+    def total_debt_usd(self) -> float:
+        """Total USD value of outstanding debt."""
+        prices = self.prices()
+        return sum(position.total_debt_usd(prices) for position in self.positions.values())
+
+    def collateral_volume_usd(self, symbols: Iterable[str] | None = None) -> float:
+        """USD value of collateral, optionally restricted to ``symbols``."""
+        prices = self.prices()
+        wanted = {symbol.upper() for symbol in symbols} if symbols is not None else None
+        total = 0.0
+        for position in self.positions.values():
+            for symbol, amount in position.collateral.items():
+                if wanted is not None and symbol not in wanted:
+                    continue
+                total += amount * prices.get(symbol, 0.0)
+        return total
+
+    def snapshot(self) -> dict[str, object]:
+        """Archive snapshot of positions and aggregates at the current block."""
+        prices = self.prices()
+        thresholds = self.liquidation_thresholds()
+        return {
+            "block": self.chain.current_block,
+            "platform": self.name,
+            "prices": dict(prices),
+            "thresholds": dict(thresholds),
+            "total_collateral_usd": self.total_collateral_usd(),
+            "total_debt_usd": self.total_debt_usd(),
+            "positions": [
+                {
+                    "owner": position.owner.value,
+                    "collateral": dict(position.collateral),
+                    "debt": dict(position.debt),
+                    "health_factor": position.health_factor(prices, thresholds),
+                }
+                for position in self.open_positions()
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Liquidation (protocol specific)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def liquidation_mechanism(self) -> str:
+        """Return ``"fixed-spread"`` or ``"auction"``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} positions={len(self.positions)}>"
+
+
+def thresholds_from_markets(markets: Mapping[str, MarketConfig]) -> dict[str, float]:
+    """Utility mirroring :meth:`LendingProtocol.liquidation_thresholds` for raw maps."""
+    return {symbol: market.liquidation_threshold for symbol, market in markets.items()}

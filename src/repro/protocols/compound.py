@@ -1,0 +1,81 @@
+"""Compound (Section 3.3).
+
+Compound operates like Aave — a pool with a 50 % close factor — but with a
+single protocol-wide liquidation incentive of 8 % and its own price oracle.
+That oracle is the source of the November 2020 incident: "an irregular DAI
+price provided by the Compound price oracle … triggers a large volume of
+cryptocurrencies to be liquidated" (Section 4.2), which the scenario layer
+reproduces through an oracle override.
+"""
+
+from __future__ import annotations
+
+from ..chain.chain import Blockchain
+from ..oracle.chainlink import PriceOracle
+from ..tokens.registry import TokenRegistry
+from .base import MarketConfig
+from .fixed_spread_protocol import FixedSpreadProtocol
+
+#: Compound's inception block (footnote 5 of the paper).
+COMPOUND_INCEPTION_BLOCK = 7_710_733
+
+#: Compound's protocol-wide liquidation incentive is 8 % (Table 3: LS = 8 %).
+COMPOUND_LIQUIDATION_SPREAD = 0.08
+
+#: Compound allows at most 50 % of the outstanding debt per liquidation.
+COMPOUND_CLOSE_FACTOR = 0.5
+
+#: Compound markets and collateral factors (used as liquidation thresholds),
+#: covering the assets of Figure 8b.
+COMPOUND_MARKETS: dict[str, float] = {
+    "ETH": 0.75,
+    "WBTC": 0.60,
+    "DAI": 0.75,
+    "USDC": 0.75,
+    "USDT": 0.0,  # USDT is borrow-only on Compound (no collateral factor)
+    "BAT": 0.60,
+    "ZRX": 0.60,
+    "REP": 0.40,
+    "UNI": 0.60,
+    "COMP": 0.60,
+}
+
+
+class CompoundProtocol(FixedSpreadProtocol):
+    """Compound-style pool with a flat 8 % liquidation incentive."""
+
+    LIQUIDATION_EVENT = "LiquidateBorrow"
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        oracle: PriceOracle,
+        registry: TokenRegistry,
+        markets: dict[str, float] | None = None,
+        liquidation_spread: float = COMPOUND_LIQUIDATION_SPREAD,
+        inception_block: int = COMPOUND_INCEPTION_BLOCK,
+    ) -> None:
+        super().__init__(
+            name="Compound",
+            chain=chain,
+            oracle=oracle,
+            registry=registry,
+            close_factor=COMPOUND_CLOSE_FACTOR,
+            inception_block=inception_block,
+        )
+        self.liquidation_spread = liquidation_spread
+        for symbol, threshold in (markets or COMPOUND_MARKETS).items():
+            registry.ensure(symbol)
+            self.add_market(
+                MarketConfig(
+                    symbol=symbol,
+                    liquidation_threshold=threshold if threshold > 0 else 0.0,
+                    liquidation_spread=liquidation_spread,
+                    collateral_enabled=threshold > 0,
+                )
+            )
+
+
+def make_compound(chain: Blockchain, oracle: PriceOracle, registry: TokenRegistry) -> CompoundProtocol:
+    """Compound with the paper's market mix and parameters."""
+    return CompoundProtocol(chain, oracle, registry)

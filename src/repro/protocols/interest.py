@@ -1,0 +1,72 @@
+"""Utilization-based interest rate models.
+
+"The interest rate of an Aave pool is decided algorithmically by the smart
+contract and depends on the available funds within the lending pool.  The
+more users borrow an asset, the higher its interest rate rises."
+(Section 3.3.)  The kinked model below is the standard two-slope curve used
+by Aave and Compound; MakerDAO's stability fee is modelled as a flat rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain.types import BLOCKS_PER_DAY
+
+#: Approximate number of blocks per year used to convert annual rates into
+#: per-block factors.
+BLOCKS_PER_YEAR = BLOCKS_PER_DAY * 365
+
+
+@dataclass(frozen=True)
+class KinkedRateModel:
+    """Two-slope ("kinked") utilization curve.
+
+    The borrow APR rises with pool utilization: gently up to the optimal
+    utilization (``kink``), then steeply beyond it, which is what pushes
+    borrowers to repay when liquidity becomes scarce.
+    """
+
+    base_rate: float = 0.0
+    slope_low: float = 0.04
+    slope_high: float = 0.75
+    kink: float = 0.8
+
+    def borrow_apr(self, utilization: float) -> float:
+        """Annual borrow rate at the given utilization (clamped to [0, 1])."""
+        utilization = min(max(utilization, 0.0), 1.0)
+        if utilization <= self.kink:
+            return self.base_rate + self.slope_low * (utilization / self.kink if self.kink else 0.0)
+        excess = (utilization - self.kink) / (1.0 - self.kink)
+        return self.base_rate + self.slope_low + self.slope_high * excess
+
+    def supply_apr(self, utilization: float, reserve_factor: float = 0.1) -> float:
+        """Annual supply rate: borrow interest flows to lenders minus reserves."""
+        return self.borrow_apr(utilization) * utilization * (1.0 - reserve_factor)
+
+    def per_block_factor(self, utilization: float) -> float:
+        """Multiplicative debt growth factor for a single block."""
+        return 1.0 + self.borrow_apr(utilization) / BLOCKS_PER_YEAR
+
+    def accrual_factor(self, utilization: float, n_blocks: int) -> float:
+        """Multiplicative debt growth factor over ``n_blocks`` blocks."""
+        if n_blocks <= 0:
+            return 1.0
+        return (1.0 + self.borrow_apr(utilization) / BLOCKS_PER_YEAR) ** n_blocks
+
+
+@dataclass(frozen=True)
+class StabilityFeeModel:
+    """MakerDAO-style flat stability fee, independent of utilization."""
+
+    annual_rate: float = 0.02
+
+    def borrow_apr(self, utilization: float = 0.0) -> float:
+        """Annual borrow rate (constant)."""
+        return self.annual_rate
+
+    def accrual_factor(self, utilization: float, n_blocks: int) -> float:
+        """Multiplicative debt growth factor over ``n_blocks`` blocks."""
+        if n_blocks <= 0:
+            return 1.0
+        return (1.0 + self.annual_rate / BLOCKS_PER_YEAR) ** n_blocks

@@ -1,0 +1,147 @@
+"""Scenario configuration.
+
+A :class:`ScenarioConfig` fully determines a simulation run: the block window
+(the paper studies April 2019 – April 2021, blocks ≈ 7.5 M – 12,344,944), the
+stride at which the chain advances, the agent population sizes, and the
+scheduled incidents (crashes, congestion, oracle irregularities).  Two
+presets are provided:
+
+* :meth:`ScenarioConfig.small` — a three-month window with a small agent
+  population, used by integration tests and the quickstart example;
+* :meth:`ScenarioConfig.paper` — the full two-year window used by the
+  benchmark harness to regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Final block of the study window: "block 12344944, the last block in the
+#: month of April, 2021" (Section 4.2).
+STUDY_END_BLOCK = 12_344_944
+
+#: First block of the study window (slightly before dYdX's inception block
+#: 7,575,711, the earliest of the four platforms).
+STUDY_START_BLOCK = 7_500_000
+
+#: Unix timestamp of the study start (≈ 25 April 2019), chosen so that 13-second
+#: blocks land the end block in late April 2021.
+STUDY_START_TIMESTAMP = 1_556_150_000
+
+#: Approximate block heights of the three incidents the paper highlights.
+MARCH_2020_CRASH_BLOCK = 9_865_000
+NOVEMBER_2020_ORACLE_BLOCK = 11_330_000
+FEBRUARY_2021_CRASH_BLOCK = 11_940_000
+
+#: Block at which MakerDAO changed its auction parameters after the March
+#: 2020 incident (visible as the step in Figure 7's configured lines).
+MAKERDAO_RECONFIG_BLOCK = 9_950_000
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Sizes of the agent populations."""
+
+    borrowers_per_platform: int = 120
+    dust_borrowers_per_platform: int = 40
+    lenders_per_platform: int = 4
+    liquidators: int = 24
+    keepers: int = 8
+    short_borrower_fraction: float = 0.25
+    inattentive_fraction: float = 0.55
+    multi_collateral_fraction_aave_v2: float = 0.7
+    multi_collateral_fraction_other: float = 0.15
+
+
+@dataclass(frozen=True)
+class IncidentConfig:
+    """Scheduled incidents of the default scenario."""
+
+    march_2020_block: int = MARCH_2020_CRASH_BLOCK
+    march_2020_eth_drop: float = 0.43
+    march_2020_congestion_blocks: int = 14_000  # ≈ 2 days of congestion
+    november_2020_block: int = NOVEMBER_2020_ORACLE_BLOCK
+    november_2020_dai_price: float = 1.30
+    november_2020_duration_blocks: int = 7_000
+    february_2021_block: int = FEBRUARY_2021_CRASH_BLOCK
+    february_2021_drop: float = 0.28
+    february_2021_congestion_blocks: int = 9_000
+    makerdao_reconfig_block: int = MAKERDAO_RECONFIG_BLOCK
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one scenario."""
+
+    seed: int = 7
+    start_block: int = STUDY_START_BLOCK
+    end_block: int = STUDY_END_BLOCK
+    start_timestamp: int = STUDY_START_TIMESTAMP
+    blocks_per_step: int = 1_200
+    feed_blocks_per_step: int = 150
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    incidents: IncidentConfig = field(default_factory=IncidentConfig)
+    interest_accrual_every_steps: int = 20
+    insurance_writeoff_every_steps: int = 50
+    snapshot_every_steps: int = 30
+    liquidator_gas_multiplier_mean: float = 1.35
+    liquidator_gas_multiplier_sigma: float = 0.5
+    liquidator_flash_loan_probability: float = 0.25
+    background_fill_normal: float = 0.55
+    background_fill_congested: float = 1.35
+
+    @property
+    def n_steps(self) -> int:
+        """Number of simulation steps covering the block window."""
+        return max((self.end_block - self.start_block) // self.blocks_per_step + 1, 1)
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def small(cls, seed: int = 7) -> "ScenarioConfig":
+        """A fast, three-month scenario for tests and the quickstart example.
+
+        The window is compressed around the March 2020 crash so that the run
+        still contains liquidations, auctions and a congestion episode.
+        """
+        start = 9_700_000
+        end = 10_250_000
+        return cls(
+            seed=seed,
+            start_block=start,
+            end_block=end,
+            start_timestamp=STUDY_START_TIMESTAMP + (start - STUDY_START_BLOCK) * 13,
+            blocks_per_step=800,
+            population=PopulationConfig(
+                borrowers_per_platform=35,
+                dust_borrowers_per_platform=12,
+                lenders_per_platform=2,
+                liquidators=10,
+                keepers=5,
+            ),
+        )
+
+    @classmethod
+    def paper(cls, seed: int = 7) -> "ScenarioConfig":
+        """The full two-year study window used by the benchmark harness."""
+        return cls(seed=seed)
+
+    @classmethod
+    def medium(cls, seed: int = 7) -> "ScenarioConfig":
+        """A reduced-population two-year run: full window, lighter agent load."""
+        return cls(
+            seed=seed,
+            blocks_per_step=2_400,
+            population=PopulationConfig(
+                borrowers_per_platform=60,
+                dust_borrowers_per_platform=20,
+                lenders_per_platform=3,
+                liquidators=16,
+                keepers=6,
+            ),
+        )

@@ -1,0 +1,326 @@
+"""The block-stride simulation engine.
+
+The engine wires together the substrates (chain, tokens, oracles, AMM, flash
+loans), the four lending protocols and the agent population, and advances
+them step by step.  One step corresponds to ``blocks_per_step`` real blocks:
+
+1. scheduled incidents whose block has been reached fire (crashes trigger
+   congestion, oracle overrides are applied, MakerDAO reconfigures auctions);
+2. every price oracle refreshes from the market feed;
+3. interest accrues and dYdX's insurance fund writes off bad debt
+   (periodically);
+4. background traffic is submitted so that blocks have a market-clearing gas
+   price and congestion actually crowds out low bids;
+5. agents act (borrowers manage positions, keepers bid, liquidators submit
+   liquidation transactions);
+6. the chain mines the stride, executing the best-paying transactions.
+
+The resulting chain (events, receipts, snapshots) is what the analytics
+package consumes — exactly the artefacts the paper's measurement pipeline
+reads from its archive node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..amm.router import AmmRouter
+from ..chain.chain import Blockchain
+from ..chain.transaction import TxKind
+from ..chain.types import Address, make_address
+from ..core.fixed_spread import LiquidationError
+from ..flashloan.pool import FlashLoanProvider
+from ..oracle.chainlink import PriceOracle
+from ..oracle.feed import PriceFeed
+from ..protocols.base import LendingProtocol
+from ..protocols.dydx import DydxProtocol
+from ..protocols.fixed_spread_protocol import FixedSpreadProtocol
+from ..protocols.makerdao import MakerDAOProtocol
+from ..tokens.registry import TokenRegistry
+from .config import ScenarioConfig
+from .market import MarketMaker
+
+
+@dataclass
+class LiquidationOpportunity:
+    """A liquidatable position on a fixed spread protocol, as seen by bots."""
+
+    protocol: FixedSpreadProtocol
+    borrower: Address
+    debt_symbol: str
+    collateral_symbol: str
+    repay_amount: float
+    expected_profit_usd: float
+    health_factor: float
+
+
+@dataclass
+class ScheduledEvent:
+    """A one-shot scenario event fired at (or after) a given block."""
+
+    block: int
+    name: str
+    action: Callable[["SimulationEngine"], None]
+    fired: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Handle to everything an analytics pass needs after a run."""
+
+    engine: "SimulationEngine"
+
+    @property
+    def chain(self) -> Blockchain:
+        """The simulated chain (events, blocks, receipts, snapshots)."""
+        return self.engine.chain
+
+    @property
+    def protocols(self) -> list[LendingProtocol]:
+        """The protocol instances in their final state."""
+        return self.engine.protocols
+
+    @property
+    def oracle(self) -> PriceOracle:
+        """The main (Chainlink-style) oracle."""
+        return self.engine.oracle
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario configuration of the run."""
+        return self.engine.config
+
+    @property
+    def final_block(self) -> int:
+        """The last mined block number."""
+        latest = self.chain.latest_block
+        return latest.number if latest else self.chain.current_block
+
+    def protocol(self, name: str) -> LendingProtocol:
+        """Look up a protocol by its display name (e.g. ``"Compound"``)."""
+        return self.engine.protocol(name)
+
+
+class SimulationEngine:
+    """Owns the full simulated world and advances it step by step."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        chain: Blockchain,
+        registry: TokenRegistry,
+        feed: PriceFeed,
+        oracle: PriceOracle,
+        protocols: list[LendingProtocol],
+        protocol_oracles: dict[str, PriceOracle] | None = None,
+        flash_loans: FlashLoanProvider | None = None,
+        amm: AmmRouter | None = None,
+        market_maker: MarketMaker | None = None,
+    ) -> None:
+        self.config = config
+        self.chain = chain
+        self.registry = registry
+        self.feed = feed
+        self.oracle = oracle
+        self.protocols = protocols
+        self.protocol_oracles = protocol_oracles or {}
+        self.flash_loans = flash_loans or FlashLoanProvider()
+        self.amm = amm or AmmRouter()
+        self.market_maker = market_maker or MarketMaker(oracle=oracle, registry=registry)
+        self.agents: list = []
+        self.scheduled_events: list[ScheduledEvent] = []
+        self.step_index = 0
+        self.rng = np.random.default_rng(config.seed + 104729)
+        self._traffic_address = make_address("background-traffic")
+        self._fixed_spread_cache: list[LiquidationOpportunity] | None = None
+        self._makerdao_cache: list[Address] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def add_agent(self, agent) -> None:
+        """Register one agent."""
+        self.agents.append(agent)
+
+    def add_agents(self, agents: Iterable) -> None:
+        """Register several agents."""
+        self.agents.extend(agents)
+
+    def schedule(self, block: int, name: str, action: Callable[["SimulationEngine"], None]) -> None:
+        """Register a one-shot scenario event."""
+        self.scheduled_events.append(ScheduledEvent(block=block, name=name, action=action))
+
+    def protocol(self, name: str) -> LendingProtocol:
+        """Look up a protocol by name."""
+        for protocol in self.protocols:
+            if protocol.name == name:
+                return protocol
+        raise KeyError(f"no protocol named {name!r}")
+
+    @property
+    def makerdao(self) -> MakerDAOProtocol | None:
+        """The MakerDAO instance, if the scenario includes one."""
+        for protocol in self.protocols:
+            if isinstance(protocol, MakerDAOProtocol):
+                return protocol
+        return None
+
+    @property
+    def dydx(self) -> DydxProtocol | None:
+        """The dYdX instance, if the scenario includes one."""
+        for protocol in self.protocols:
+            if isinstance(protocol, DydxProtocol):
+                return protocol
+        return None
+
+    def fixed_spread_protocols(self) -> list[FixedSpreadProtocol]:
+        """Protocols using the atomic fixed spread mechanism."""
+        return [protocol for protocol in self.protocols if isinstance(protocol, FixedSpreadProtocol)]
+
+    def is_active(self, protocol: LendingProtocol) -> bool:
+        """Whether the chain has reached the protocol's inception block."""
+        return self.chain.current_block >= protocol.inception_block
+
+    # ------------------------------------------------------------------ #
+    # Per-step opportunity scans (shared by all liquidator / keeper agents)
+    # ------------------------------------------------------------------ #
+    def fixed_spread_opportunities(self) -> list[LiquidationOpportunity]:
+        """Liquidatable positions on the fixed spread protocols, this step."""
+        if self._fixed_spread_cache is not None:
+            return self._fixed_spread_cache
+        opportunities: list[LiquidationOpportunity] = []
+        for protocol in self.fixed_spread_protocols():
+            if not self.is_active(protocol):
+                continue
+            prices = protocol.prices()
+            thresholds = protocol.liquidation_thresholds()
+            for position in protocol.positions_with_debt():
+                if not position.is_liquidatable(prices, thresholds):
+                    continue
+                pair = protocol.best_liquidation_pair(position.owner)
+                if pair is None:
+                    continue
+                debt_symbol, collateral_symbol = pair
+                repay_amount = protocol.max_repay_amount(position.owner, debt_symbol)
+                if repay_amount <= 0:
+                    continue
+                try:
+                    quote = protocol.quote_liquidation_call(position.owner, debt_symbol, collateral_symbol, repay_amount)
+                except LiquidationError:
+                    continue
+                opportunities.append(
+                    LiquidationOpportunity(
+                        protocol=protocol,
+                        borrower=position.owner,
+                        debt_symbol=debt_symbol,
+                        collateral_symbol=collateral_symbol,
+                        repay_amount=quote.repay_amount,
+                        expected_profit_usd=quote.profit_usd,
+                        health_factor=quote.health_factor_before,
+                    )
+                )
+        self._fixed_spread_cache = opportunities
+        return opportunities
+
+    def makerdao_opportunities(self) -> list[Address]:
+        """Unsafe MakerDAO vaults that can be bitten this step."""
+        if self._makerdao_cache is not None:
+            return self._makerdao_cache
+        makerdao = self.makerdao
+        if makerdao is None or not self.is_active(makerdao):
+            self._makerdao_cache = []
+            return self._makerdao_cache
+        prices = makerdao.prices()
+        thresholds = makerdao.liquidation_thresholds()
+        vaults = [
+            position.owner
+            for position in makerdao.positions_with_debt()
+            if position.has_collateral and position.is_liquidatable(prices, thresholds)
+        ]
+        self._makerdao_cache = vaults
+        return vaults
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(self):
+        """Advance the world by one block stride and return the mined block."""
+        self._fire_scheduled_events()
+        self._update_oracles()
+        self._periodic_maintenance()
+        self._fixed_spread_cache = None
+        self._makerdao_cache = None
+        self._submit_background_traffic()
+        for agent in self.agents:
+            agent.act(self)
+        block = self.chain.mine_block()
+        self.step_index += 1
+        return block
+
+    def run(self, n_steps: int | None = None) -> SimulationResult:
+        """Run until the configured end block (or for ``n_steps`` strides)."""
+        remaining = n_steps if n_steps is not None else self.config.n_steps
+        for _ in range(remaining):
+            if self.chain.current_block > self.config.end_block:
+                break
+            self.step()
+        self.chain.take_snapshot()
+        return SimulationResult(engine=self)
+
+    # ------------------------------------------------------------------ #
+    # Step phases
+    # ------------------------------------------------------------------ #
+    def _fire_scheduled_events(self) -> None:
+        for event in self.scheduled_events:
+            if not event.fired and self.chain.current_block >= event.block:
+                event.action(self)
+                event.fired = True
+
+    def _update_oracles(self) -> None:
+        self.oracle.update_from_feed()
+        for oracle in self.protocol_oracles.values():
+            if oracle is not self.oracle:
+                oracle.update_from_feed()
+
+    def _periodic_maintenance(self) -> None:
+        if self.step_index % self.config.interest_accrual_every_steps == 0:
+            for protocol in self.protocols:
+                if self.is_active(protocol):
+                    protocol.accrue_interest()
+        dydx = self.dydx
+        if dydx is not None and self.step_index % self.config.insurance_writeoff_every_steps == 0:
+            if self.is_active(dydx):
+                dydx.write_off_bad_debt()
+        if self.config.snapshot_every_steps and self.step_index % self.config.snapshot_every_steps == 0:
+            self.chain.take_snapshot()
+
+    def _submit_background_traffic(self) -> None:
+        """Fill blocks with ordinary traffic around the market gas price.
+
+        During congestion episodes the demand exceeds capacity, so only bids
+        above the (congested) market level land — this is what prices out
+        keeper bots computing gas from stale, uncongested estimates.
+        """
+        market = self.chain.gas_market
+        stride_budget = self.chain.config.block_gas_limit * max(self.chain.config.blocks_per_step, 1)
+        fill = (
+            self.config.background_fill_congested
+            if market.is_congested
+            else self.config.background_fill_normal
+        )
+        n_chunks = 40
+        gas_each = max(int(stride_budget * fill / n_chunks), 21_000)
+        base = market.base_gas_price_wei
+        for _ in range(n_chunks):
+            gas_price = max(int(base * float(self.rng.lognormal(0.0, 0.35))), 1)
+            self.chain.submit_call(
+                sender=self._traffic_address,
+                action=None,
+                gas_price=gas_price,
+                gas_limit=gas_each,
+                kind=TxKind.OTHER,
+                metadata={"background": True},
+            )

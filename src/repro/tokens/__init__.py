@@ -1,0 +1,22 @@
+"""Token substrate: ERC-20-style ledgers and the study's asset universe."""
+
+from .registry import (
+    DEFAULT_ASSETS,
+    STABLECOIN_SYMBOLS,
+    TokenRegistry,
+    UnknownToken,
+    default_registry,
+    inception_prices,
+)
+from .token import InsufficientBalance, Token
+
+__all__ = [
+    "DEFAULT_ASSETS",
+    "InsufficientBalance",
+    "STABLECOIN_SYMBOLS",
+    "Token",
+    "TokenRegistry",
+    "UnknownToken",
+    "default_registry",
+    "inception_prices",
+]

@@ -1,0 +1,129 @@
+"""Token registry and the default asset universe of the study.
+
+The paper's measurements span the collateral/debt assets listed by the four
+protocols (Figure 8 legends): ETH/WETH, WBTC, the major stablecoins (DAI,
+USDC, USDT, TUSD, GUSD, PAX), governance tokens (UNI, AAVE, COMP, MKR, YFI…)
+and a long tail of ERC-20s.  :func:`default_registry` instantiates the subset
+that materially drives the results, with the rest available through
+:meth:`TokenRegistry.ensure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .token import Token
+
+#: Symbols the paper treats as USD-pegged stablecoins (Section 2.2.3, 4.5.2).
+STABLECOIN_SYMBOLS = frozenset(
+    {"DAI", "USDC", "USDT", "TUSD", "GUSD", "PAX", "BUSD", "SUSD"}
+)
+
+#: The assets used by the default 2-year scenario, with reference prices
+#: (USD) at scenario inception (mid-2019 levels).
+DEFAULT_ASSETS: dict[str, tuple[str, int, float]] = {
+    # symbol: (name, decimals, inception price in USD)
+    "ETH": ("Ether", 18, 270.0),
+    "WBTC": ("Wrapped Bitcoin", 8, 9_500.0),
+    "DAI": ("Dai Stablecoin", 18, 1.0),
+    "USDC": ("USD Coin", 6, 1.0),
+    "USDT": ("Tether USD", 6, 1.0),
+    "TUSD": ("TrueUSD", 18, 1.0),
+    "BAT": ("Basic Attention Token", 18, 0.30),
+    "ZRX": ("0x Protocol", 18, 0.30),
+    "LINK": ("Chainlink", 18, 3.0),
+    "UNI": ("Uniswap", 18, 3.0),
+    "COMP": ("Compound", 18, 60.0),
+    "MKR": ("Maker", 18, 600.0),
+    "AAVE": ("Aave", 18, 40.0),
+    "YFI": ("yearn.finance", 18, 10_000.0),
+    "SNX": ("Synthetix", 18, 1.0),
+    "KNC": ("Kyber Network", 18, 0.20),
+    "MANA": ("Decentraland", 18, 0.05),
+    "REP": ("Augur", 18, 12.0),
+    "ENJ": ("Enjin Coin", 18, 0.10),
+    "REN": ("Ren", 18, 0.05),
+    "CRV": ("Curve DAO", 18, 0.50),
+    "BAL": ("Balancer", 18, 10.0),
+}
+
+
+class UnknownToken(KeyError):
+    """Raised when a registry lookup references an unregistered symbol."""
+
+
+@dataclass
+class TokenRegistry:
+    """A symbol-indexed collection of :class:`Token` instances."""
+
+    _tokens: dict[str, Token] = field(default_factory=dict)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol.upper() in self._tokens
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens.values())
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def register(self, token: Token) -> Token:
+        """Add ``token`` to the registry (idempotent for equal symbols)."""
+        existing = self._tokens.get(token.symbol.upper())
+        if existing is not None:
+            return existing
+        self._tokens[token.symbol.upper()] = token
+        return token
+
+    def get(self, symbol: str) -> Token:
+        """Return the token registered under ``symbol``.
+
+        Raises :class:`UnknownToken` for unregistered symbols so typos fail
+        loudly instead of silently creating empty ledgers.
+        """
+        try:
+            return self._tokens[symbol.upper()]
+        except KeyError as exc:
+            raise UnknownToken(symbol) from exc
+
+    def ensure(self, symbol: str, name: str = "", decimals: int = 18) -> Token:
+        """Return the token for ``symbol``, creating it if necessary."""
+        key = symbol.upper()
+        if key in self._tokens:
+            return self._tokens[key]
+        token = Token(
+            symbol=key,
+            name=name or key,
+            decimals=decimals,
+            is_stablecoin=key in STABLECOIN_SYMBOLS,
+        )
+        return self.register(token)
+
+    def symbols(self) -> list[str]:
+        """Sorted list of registered symbols."""
+        return sorted(self._tokens)
+
+    def stablecoins(self) -> list[Token]:
+        """Registered tokens flagged as stablecoins."""
+        return [token for token in self._tokens.values() if token.is_stablecoin]
+
+
+def default_registry() -> TokenRegistry:
+    """Create a registry pre-populated with the study's asset universe."""
+    registry = TokenRegistry()
+    for symbol, (name, decimals, _price) in DEFAULT_ASSETS.items():
+        registry.register(
+            Token(
+                symbol=symbol,
+                name=name,
+                decimals=decimals,
+                is_stablecoin=symbol in STABLECOIN_SYMBOLS,
+            )
+        )
+    return registry
+
+
+def inception_prices() -> dict[str, float]:
+    """Reference USD prices of the default assets at scenario inception."""
+    return {symbol: price for symbol, (_name, _decimals, price) in DEFAULT_ASSETS.items()}

@@ -1,0 +1,119 @@
+"""ERC-20-style token ledger.
+
+Every asset in the simulation (ETH, WBTC, DAI, USDC, …) is represented by a
+:class:`Token` holding its own balance ledger.  Protocol contracts and agents
+move funds with :meth:`Token.transfer` / :meth:`Token.mint` exactly as smart
+contracts would through ERC-20 calls, which keeps conservation-of-value an
+enforceable invariant (and a property the test suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.types import Address
+
+
+class InsufficientBalance(Exception):
+    """Raised when a transfer or burn exceeds the holder's balance."""
+
+
+@dataclass
+class Token:
+    """A fungible token with an internal balance ledger.
+
+    Attributes
+    ----------
+    symbol:
+        Ticker symbol, e.g. ``"ETH"`` or ``"DAI"``.
+    name:
+        Human-readable name.
+    decimals:
+        Number of decimals of the on-chain representation.  The simulator
+        keeps balances as floats in whole-token units, so decimals are
+        metadata only (used when formatting reports).
+    is_stablecoin:
+        Whether the token is designed to track 1 USD (Section 2.2.3).
+    """
+
+    symbol: str
+    name: str = ""
+    decimals: int = 18
+    is_stablecoin: bool = False
+    _balances: dict[Address, float] = field(default_factory=dict, repr=False)
+    _total_supply: float = field(default=0.0, repr=False)
+
+    # Tolerance for floating point dust when enforcing balances.
+    _EPSILON = 1e-9
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.symbol
+
+    def __hash__(self) -> int:
+        return hash(self.symbol)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Token):
+            return self.symbol == other.symbol
+        return NotImplemented
+
+    # ------------------------------------------------------------------ #
+    # Balance queries
+    # ------------------------------------------------------------------ #
+    def balance_of(self, holder: Address) -> float:
+        """Return the balance of ``holder`` (0 for unknown addresses)."""
+        return self._balances.get(holder, 0.0)
+
+    @property
+    def total_supply(self) -> float:
+        """Total minted supply of the token."""
+        return self._total_supply
+
+    def holders(self) -> list[Address]:
+        """Addresses with a strictly positive balance."""
+        return [holder for holder, balance in self._balances.items() if balance > self._EPSILON]
+
+    # ------------------------------------------------------------------ #
+    # Supply management
+    # ------------------------------------------------------------------ #
+    def mint(self, to: Address, amount: float) -> None:
+        """Create ``amount`` new tokens and credit them to ``to``."""
+        if amount < 0:
+            raise ValueError("cannot mint a negative amount")
+        self._balances[to] = self.balance_of(to) + amount
+        self._total_supply += amount
+
+    def burn(self, holder: Address, amount: float) -> None:
+        """Destroy ``amount`` tokens held by ``holder``."""
+        if amount < 0:
+            raise ValueError("cannot burn a negative amount")
+        balance = self.balance_of(holder)
+        if amount > balance + self._EPSILON:
+            raise InsufficientBalance(
+                f"{holder} holds {balance:.6f} {self.symbol}, cannot burn {amount:.6f}"
+            )
+        self._balances[holder] = max(balance - amount, 0.0)
+        self._total_supply = max(self._total_supply - amount, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+    def transfer(self, sender: Address, recipient: Address, amount: float) -> None:
+        """Move ``amount`` tokens from ``sender`` to ``recipient``."""
+        if amount < 0:
+            raise ValueError("cannot transfer a negative amount")
+        balance = self.balance_of(sender)
+        if amount > balance + self._EPSILON:
+            raise InsufficientBalance(
+                f"{sender} holds {balance:.6f} {self.symbol}, cannot transfer {amount:.6f}"
+            )
+        self._balances[sender] = max(balance - amount, 0.0)
+        self._balances[recipient] = self.balance_of(recipient) + amount
+
+    def transfer_all(self, sender: Address, recipient: Address) -> float:
+        """Move the sender's entire balance and return the amount moved."""
+        amount = self.balance_of(sender)
+        if amount > 0:
+            self.transfer(sender, recipient, amount)
+        return amount

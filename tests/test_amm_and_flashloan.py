@@ -1,0 +1,155 @@
+"""Unit tests for the AMM pools, router and flash-loan substrate."""
+
+import pytest
+
+from repro.amm.pool import ConstantProductPool, SwapError
+from repro.amm.router import AmmRouter
+from repro.chain.chain import Blockchain
+from repro.chain.transaction import TransactionReverted
+from repro.chain.types import make_address
+from repro.flashloan.pool import FlashLoanError, FlashLoanPool, FlashLoanProvider
+from repro.tokens.token import Token
+
+LP = make_address("lp")
+TRADER = make_address("trader")
+
+
+@pytest.fixture()
+def eth_dai_pool():
+    eth = Token(symbol="ETH")
+    dai = Token(symbol="DAI")
+    pool = ConstantProductPool(token_a=eth, token_b=dai, fee=0.003)
+    eth.mint(LP, 100.0)
+    dai.mint(LP, 200_000.0)
+    pool.add_liquidity(LP, 100.0, 200_000.0)
+    return pool
+
+
+class TestConstantProductPool:
+    def test_spot_price_is_reserve_ratio(self, eth_dai_pool):
+        assert eth_dai_pool.spot_price("ETH") == pytest.approx(2_000.0)
+        assert eth_dai_pool.spot_price("DAI") == pytest.approx(1.0 / 2_000.0)
+
+    def test_swap_output_below_spot_due_to_slippage_and_fee(self, eth_dai_pool):
+        out = eth_dai_pool.get_amount_out("ETH", 1.0)
+        assert out < 2_000.0
+        assert out > 1_900.0
+
+    def test_swap_preserves_or_grows_invariant(self, eth_dai_pool):
+        eth_dai_pool.token_a.mint(TRADER, 1.0)
+        before = eth_dai_pool.invariant
+        eth_dai_pool.swap(TRADER, "ETH", 1.0)
+        assert eth_dai_pool.invariant >= before * (1 - 1e-9)
+
+    def test_swap_moves_price(self, eth_dai_pool):
+        eth_dai_pool.token_a.mint(TRADER, 10.0)
+        eth_dai_pool.swap(TRADER, "ETH", 10.0)
+        assert eth_dai_pool.spot_price("ETH") < 2_000.0
+
+    def test_price_impact_grows_with_size(self, eth_dai_pool):
+        assert eth_dai_pool.price_impact("ETH", 10.0) > eth_dai_pool.price_impact("ETH", 0.1)
+
+    def test_unknown_token_rejected(self, eth_dai_pool):
+        with pytest.raises(SwapError):
+            eth_dai_pool.get_amount_out("USDC", 1.0)
+
+    def test_identical_tokens_rejected(self):
+        eth = Token(symbol="ETH")
+        with pytest.raises(ValueError):
+            ConstantProductPool(token_a=eth, token_b=eth)
+
+    def test_zero_amount_swap_rejected(self, eth_dai_pool):
+        with pytest.raises(SwapError):
+            eth_dai_pool.get_amount_out("ETH", 0.0)
+
+
+class TestRouter:
+    def test_lookup_and_quote(self, eth_dai_pool):
+        router = AmmRouter()
+        router.register(eth_dai_pool)
+        assert router.has_pool("ETH", "DAI")
+        assert router.quote("ETH", "DAI", 1.0) == pytest.approx(eth_dai_pool.get_amount_out("ETH", 1.0))
+
+    def test_onchain_price(self, eth_dai_pool):
+        router = AmmRouter()
+        router.register(eth_dai_pool)
+        assert router.onchain_price("ETH", "DAI") == pytest.approx(2_000.0)
+
+    def test_missing_pool_raises(self):
+        router = AmmRouter()
+        with pytest.raises(SwapError):
+            router.pool_for("ETH", "USDC")
+
+
+class TestFlashLoans:
+    @pytest.fixture()
+    def funded_pool(self):
+        dai = Token(symbol="DAI")
+        pool = FlashLoanPool(platform="dYdX", token=dai, fee_rate=0.0, chain=Blockchain())
+        dai.mint(LP, 1_000_000.0)
+        pool.fund(LP, 1_000_000.0)
+        return pool
+
+    def test_flash_loan_executes_callback_and_repays(self, funded_pool):
+        borrower = make_address("borrower")
+        seen = {}
+
+        def callback(amount, fee):
+            seen["amount"] = amount
+            seen["fee"] = fee
+
+        funded_pool.flash_loan(borrower, 10_000.0, callback)
+        assert seen["amount"] == pytest.approx(10_000.0)
+        assert funded_pool.liquidity == pytest.approx(1_000_000.0)
+
+    def test_unrepayable_loan_reverts_and_restores_liquidity(self, funded_pool):
+        borrower = make_address("spender")
+
+        def callback(amount, fee):
+            # Burn the borrowed funds so repayment is impossible.
+            funded_pool.token.burn(borrower, amount)
+
+        with pytest.raises(TransactionReverted):
+            funded_pool.flash_loan(borrower, 10_000.0, callback)
+        assert funded_pool.liquidity == pytest.approx(990_000.0)  # burnt funds are gone from the borrower side
+        assert funded_pool.token.balance_of(borrower) == pytest.approx(0.0)
+
+    def test_fee_charged_on_aave_style_pool(self):
+        dai = Token(symbol="DAI")
+        pool = FlashLoanPool(platform="Aave V2", token=dai, fee_rate=0.0009)
+        dai.mint(LP, 100_000.0)
+        pool.fund(LP, 100_000.0)
+        borrower = make_address("payer")
+        dai.mint(borrower, 100.0)  # to cover the fee
+        fee = pool.flash_loan(borrower, 10_000.0, lambda amount, fee: None)
+        assert fee == pytest.approx(9.0)
+        assert pool.liquidity == pytest.approx(100_009.0)
+
+    def test_loan_larger_than_liquidity_rejected(self, funded_pool):
+        with pytest.raises(FlashLoanError):
+            funded_pool.flash_loan(make_address("big"), 2_000_000.0, lambda a, f: None)
+
+    def test_flash_loan_emits_event(self, funded_pool):
+        borrower = make_address("emitter")
+        funded_pool.flash_loan(borrower, 5_000.0, lambda a, f: None, purpose="liquidation:Compound")
+        events = funded_pool.chain.events.by_name("FlashLoan")
+        assert len(events) == 1
+        assert events[0].data["purpose"] == "liquidation:Compound"
+
+    def test_provider_prefers_cheapest_pool(self):
+        dai = Token(symbol="DAI")
+        dydx = FlashLoanPool(platform="dYdX", token=dai, fee_rate=0.0)
+        aave = FlashLoanPool(platform="Aave V2", token=dai, fee_rate=0.0009)
+        dai.mint(LP, 200.0)
+        dydx.fund(LP, 100.0)
+        aave.fund(LP, 100.0)
+        provider = FlashLoanProvider()
+        provider.register(dydx)
+        provider.register(aave)
+        assert provider.cheapest_pool("DAI") is dydx
+        assert provider.pool("Aave V2", "DAI") is aave
+
+    def test_provider_unknown_pool_raises(self):
+        provider = FlashLoanProvider()
+        with pytest.raises(FlashLoanError):
+            provider.pool("dYdX", "DAI")

@@ -1,0 +1,188 @@
+"""Tests for the measurement pipeline, run against the shared small scenario."""
+
+import pytest
+
+from repro.analytics import (
+    accumulative_collateral_series,
+    auction_report,
+    bad_debt_table,
+    classify_path,
+    extract_liquidations,
+    filter_market,
+    flash_loan_report,
+    gas_report,
+    liquidation_fee_statistics,
+    monthly_liquidation_counts,
+    monthly_profit_by_platform,
+    monthly_table,
+    month_of_timestamp,
+    price_movement_report,
+    profit_report,
+    profit_volume_report,
+    records_by_platform,
+    sensitivity_figure,
+    stablecoin_stability,
+    total_liquidated_collateral_usd,
+    unprofitable_table,
+    usd,
+)
+from repro.analytics.price_movement import PriceMovement
+
+
+class TestHelpers:
+    def test_month_formatting(self):
+        assert month_of_timestamp(1_584_100_000) == "2020-03"
+
+    def test_usd_formatting(self):
+        assert usd(1_250_000.0) == "1.25M USD"
+        assert usd(2_500.0) == "2.50K USD"
+        assert usd(3.2) == "3.20 USD"
+        assert usd(2_000_000_000.0) == "2.00B USD"
+
+
+class TestRecords:
+    def test_records_extracted_and_sorted(self, small_records):
+        assert len(small_records) > 20
+        blocks = [record.block_number for record in small_records]
+        assert blocks == sorted(blocks)
+
+    def test_fixed_spread_records_use_event_payload(self, small_records):
+        fixed = [record for record in small_records if record.mechanism == "fixed-spread"]
+        assert fixed
+        for record in fixed[:20]:
+            assert record.collateral_usd == pytest.approx(record.repaid_usd + record.profit_usd, rel=1e-6)
+
+    def test_auction_records_only_for_winning_deals(self, small_result, small_records):
+        auction_records = [record for record in small_records if record.mechanism == "auction"]
+        winning_deals = [
+            event for event in small_result.chain.events.by_name("Deal") if event.data.get("winner")
+        ]
+        assert len(auction_records) == len(winning_deals)
+
+    def test_filter_market_restricts_symbols(self, small_records):
+        market = filter_market(small_records, "DAI", "ETH")
+        assert all(record.debt_symbol == "DAI" and record.collateral_symbol == "ETH" for record in market)
+
+    def test_records_by_platform_partition(self, small_records):
+        grouped = records_by_platform(small_records)
+        assert sum(len(records) for records in grouped.values()) == len(small_records)
+
+
+class TestProfitAndMonthly:
+    def test_profit_report_totals_consistent(self, small_records):
+        report = profit_report(small_records)
+        assert report.total_liquidations == len(small_records)
+        assert report.total_profit_usd == pytest.approx(sum(r.profit_usd for r in small_records), rel=1e-9)
+        assert report.total_liquidators == len({r.liquidator for r in small_records})
+
+    def test_platform_rows_sum_to_total(self, small_records):
+        report = profit_report(small_records)
+        assert sum(row.liquidations for row in report.rows) == report.total_liquidations
+
+    def test_accumulative_series_monotone(self, small_records):
+        series = accumulative_collateral_series(small_records)
+        for platform_series in series.values():
+            values = platform_series.cumulative_collateral_usd
+            assert all(later >= earlier for earlier, later in zip(values, values[1:]))
+        assert sum(s.final_value_usd for s in series.values()) == pytest.approx(
+            total_liquidated_collateral_usd(small_records)
+        )
+
+    def test_monthly_profit_sums_to_total(self, small_records):
+        monthly = monthly_profit_by_platform(small_records)
+        total = sum(value for months in monthly.values() for value in months.values())
+        assert total == pytest.approx(sum(record.profit_usd for record in small_records), rel=1e-9)
+
+    def test_monthly_counts_and_table(self, small_records):
+        counts = monthly_liquidation_counts(small_records, "DAI", "ETH")
+        rows = monthly_table(counts)
+        dai_eth_total = len(filter_market(small_records, "DAI", "ETH"))
+        assert sum(sum(v for k, v in row.items() if k != "month") for row in rows) == dai_eth_total
+
+
+class TestGasAndAuctions:
+    def test_gas_report_points_match_successful_liquidation_receipts(self, small_result):
+        report = gas_report(small_result)
+        stats = liquidation_fee_statistics(small_result)
+        assert len(report.points) == int(stats["count"])
+        assert 0.0 <= report.share_above_average <= 1.0
+
+    def test_majority_of_liquidations_pay_above_average_gas(self, small_result):
+        report = gas_report(small_result)
+        assert report.share_above_average > 0.5  # the paper reports 73.97 %
+
+    def test_auction_report_statistics(self, small_result):
+        report = auction_report(small_result)
+        assert report.settled_auctions > 0
+        assert report.tend_terminations + report.dent_terminations == report.settled_auctions
+        assert report.mean_bids_per_auction >= 1.0
+        assert report.mean_bidders_per_auction >= 1.0
+        assert report.mean_duration_hours > 0.0
+        assert len(report.config_changes) >= 2  # initial configuration + post-incident change
+
+
+class TestSnapshotsAndRisk:
+    def test_bad_debt_table_contains_fixed_spread_platforms(self, small_result):
+        table = bad_debt_table(small_result)
+        assert set(table) <= {"Aave V2", "Compound", "dYdX"}
+        for entry in table.values():
+            assert entry.type_i_count >= 0
+            assert entry.type_ii_by_fee[10.0].type_ii_count <= entry.type_ii_by_fee[100.0].type_ii_count
+
+    def test_unprofitable_table_monotone_in_fee(self, small_result):
+        table = unprofitable_table(small_result)
+        for cells in table.values():
+            assert cells[10.0].unprofitable_count <= cells[100.0].unprofitable_count
+
+    def test_flash_loan_report_matches_event_count(self, small_result):
+        report = flash_loan_report(small_result)
+        liquidation_flash_events = [
+            event
+            for event in small_result.chain.events.by_name("FlashLoan")
+            if str(event.data.get("purpose", "")).startswith("liquidation")
+        ]
+        assert report.total_flash_loans == len(liquidation_flash_events)
+
+    def test_sensitivity_panels_cover_platforms_and_eth_dominates(self, small_result):
+        figure = sensitivity_figure(small_result)
+        assert set(figure) == {"Aave V2", "Compound", "dYdX", "MakerDAO"}
+        compound_panel = figure["Compound"]
+        assert compound_panel.most_sensitive_symbol == "ETH"
+        assert compound_panel.liquidatable_at("ETH", 0.43) >= 0.0
+
+    def test_stablecoin_stability_measurement(self, small_result):
+        report = stablecoin_stability(small_result)
+        assert 0.9 <= report.within_threshold_share <= 1.0
+        assert report.max_difference < 0.2
+
+
+class TestPriceMovementAndComparison:
+    def test_classify_path_patterns(self):
+        import numpy as np
+
+        assert classify_path(np.array([1.0, 1.0, 1.0]))[0] is PriceMovement.HORIZONTAL
+        assert classify_path(np.array([1.01, 1.02, 1.05]))[0] is PriceMovement.RISE
+        assert classify_path(np.array([0.99, 0.95]))[0] is PriceMovement.FALL
+        assert classify_path(np.array([1.02, 0.97]))[0] is PriceMovement.RISE_FALL
+        assert classify_path(np.array([0.97, 1.02]))[0] is PriceMovement.FALL_RISE
+        assert classify_path(np.array([1.02, 0.97, 1.02, 0.96]))[0] is PriceMovement.RISE_FLUCTUATION
+        assert classify_path(np.array([0.98, 1.02, 0.97, 1.01]))[0] is PriceMovement.FALL_FLUCTUATION
+
+    def test_classify_path_magnitudes(self):
+        import numpy as np
+
+        _, max_rise, max_fall = classify_path(np.array([1.10, 0.92]))
+        assert max_rise == pytest.approx(0.10)
+        assert max_fall == pytest.approx(0.08)
+
+    def test_price_movement_report_covers_records(self, small_result, small_records):
+        report = price_movement_report(small_result, small_records)
+        assert len(report.observations) > 0
+        assert sum(report.counts().values()) == len(report.observations)
+        assert 0.0 <= report.share_below_at_window_end <= 1.0
+
+    def test_profit_volume_report_structure(self, small_result, small_records):
+        report = profit_volume_report(small_result, small_records)
+        assert set(report.median_ratios) <= {p.platform for p in report.points}
+        for point in report.points:
+            assert point.ratio >= 0.0 or point.profit_usd < 0.0

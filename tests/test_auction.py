@@ -1,0 +1,133 @@
+"""Unit tests for the MakerDAO tend-dent auction state machine (Section 3.2.1)."""
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.core.auction import AuctionConfig, AuctionError, AuctionPhase, TendDentAuction
+
+ALICE = make_address("alice")
+BOB = make_address("bob")
+
+
+@pytest.fixture()
+def auction():
+    return TendDentAuction(
+        auction_id=1,
+        borrower=make_address("vault"),
+        collateral_symbol="ETH",
+        debt_symbol="DAI",
+        collateral_lot=10.0,
+        debt_target=10_000.0,
+        start_block=100,
+        config=AuctionConfig(auction_length_blocks=1_000, bid_duration_blocks=300, min_bid_increase=0.03),
+    )
+
+
+class TestTendPhase:
+    def test_starts_in_tend_phase(self, auction):
+        assert auction.phase is AuctionPhase.TEND
+
+    def test_first_bid_recorded(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        assert auction.current_debt_bid == pytest.approx(5_000.0)
+        assert auction.winning_bidder == ALICE
+
+    def test_bid_must_beat_previous_by_increment(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        with pytest.raises(AuctionError):
+            auction.place_tend_bid(BOB, 5_050.0, 111)
+
+    def test_bid_above_increment_accepted(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        auction.place_tend_bid(BOB, 5_200.0, 111)
+        assert auction.winning_bidder == BOB
+
+    def test_bid_cannot_exceed_debt_target(self, auction):
+        with pytest.raises(AuctionError):
+            auction.place_tend_bid(ALICE, 11_000.0, 110)
+
+    def test_first_bid_must_be_positive(self, auction):
+        with pytest.raises(AuctionError):
+            auction.place_tend_bid(ALICE, 0.0, 110)
+
+    def test_reaching_debt_target_moves_to_dent(self, auction):
+        auction.place_tend_bid(ALICE, 10_000.0, 110)
+        assert auction.phase is AuctionPhase.DENT
+
+
+class TestDentPhase:
+    def test_dent_bid_requires_dent_phase(self, auction):
+        with pytest.raises(AuctionError):
+            auction.place_dent_bid(ALICE, 9.0, 110)
+
+    def test_dent_bids_decrease_collateral(self, auction):
+        auction.place_tend_bid(ALICE, 10_000.0, 110)
+        auction.place_dent_bid(BOB, 9.0, 111)
+        assert auction.current_collateral_bid == pytest.approx(9.0)
+        assert auction.winning_bidder == BOB
+
+    def test_dent_bid_must_shave_minimum(self, auction):
+        auction.place_tend_bid(ALICE, 10_000.0, 110)
+        auction.place_dent_bid(BOB, 9.0, 111)
+        with pytest.raises(AuctionError):
+            auction.place_dent_bid(ALICE, 8.95, 112)
+
+    def test_dent_bid_must_be_positive(self, auction):
+        auction.place_tend_bid(ALICE, 10_000.0, 110)
+        with pytest.raises(AuctionError):
+            auction.place_dent_bid(BOB, 0.0, 111)
+
+
+class TestTermination:
+    def test_expires_after_auction_length(self, auction):
+        assert not auction.is_expired(500)
+        assert auction.is_expired(1_100)
+
+    def test_expires_after_bid_duration_since_last_bid(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        assert not auction.is_expired(300)
+        assert auction.is_expired(420)
+
+    def test_cannot_bid_after_expiry(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        with pytest.raises(AuctionError):
+            auction.place_tend_bid(BOB, 6_000.0, 500)
+
+    def test_finalize_before_expiry_rejected(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        with pytest.raises(AuctionError):
+            auction.finalize(200)
+
+    def test_finalize_returns_winning_bid(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        winner = auction.finalize(500)
+        assert winner is not None and winner.bidder == ALICE
+        assert auction.phase is AuctionPhase.FINALIZED
+
+    def test_finalize_without_bids_returns_none(self, auction):
+        assert auction.finalize(1_200) is None
+
+    def test_double_finalize_rejected(self, auction):
+        auction.finalize(1_200)
+        with pytest.raises(AuctionError):
+            auction.finalize(1_300)
+
+
+class TestStatistics:
+    def test_bid_counts(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        auction.place_tend_bid(BOB, 10_000.0, 120)
+        auction.place_dent_bid(ALICE, 9.0, 130)
+        assert auction.n_bids == 3
+        assert auction.n_tend_bids == 2
+        assert auction.n_dent_bids == 1
+        assert auction.n_bidders == 2
+        assert not auction.terminated_in_tend
+
+    def test_duration_and_intervals(self, auction):
+        auction.place_tend_bid(ALICE, 5_000.0, 110)
+        auction.place_tend_bid(BOB, 10_000.0, 150)
+        auction.finalize(460)
+        assert auction.duration_blocks() == 360
+        assert auction.first_bid_delay_blocks() == 10
+        assert auction.bid_interval_blocks() == [40]

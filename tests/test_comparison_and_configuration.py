@@ -1,0 +1,106 @@
+"""Unit tests for the mechanism comparison metric and Appendix C's analysis."""
+
+import pytest
+
+from repro.core.comparison import (
+    ProfitVolumePoint,
+    average_ratio_by_platform,
+    borrower_favourability,
+    median_ratio_by_platform,
+    monthly_profit_volume_ratios,
+    rank_platforms,
+)
+from repro.core.configuration import (
+    health_factor_after_liquidation,
+    is_reasonable_configuration,
+    liquidation_improves_health,
+    reasonable_fraction,
+    spread_upper_bound,
+    sweep_configurations,
+)
+from repro.core.optimal_strategy import SimplePosition
+from repro.core.terminology import LiquidationParams
+
+
+class TestProfitVolume:
+    def test_ratio_definition(self):
+        point = ProfitVolumePoint(platform="dYdX", month="2020-05", profit_usd=10.0, average_collateral_usd=1_000.0)
+        assert point.ratio == pytest.approx(0.01)
+
+    def test_zero_volume_gives_zero_ratio(self):
+        point = ProfitVolumePoint(platform="dYdX", month="2020-05", profit_usd=10.0, average_collateral_usd=0.0)
+        assert point.ratio == 0.0
+
+    def test_monthly_join_covers_all_months(self):
+        points = monthly_profit_volume_ratios(
+            {"Compound": {"2020-05": 5.0}},
+            {"Compound": {"2020-05": 100.0, "2020-06": 200.0}},
+        )
+        months = {point.month for point in points}
+        assert months == {"2020-05", "2020-06"}
+
+    def test_average_and_median_ratios(self):
+        points = [
+            ProfitVolumePoint("dYdX", "2020-05", 10.0, 100.0),
+            ProfitVolumePoint("dYdX", "2020-06", 30.0, 100.0),
+            ProfitVolumePoint("MakerDAO", "2020-05", 1.0, 100.0),
+        ]
+        assert average_ratio_by_platform(points)["dYdX"] == pytest.approx(0.2)
+        assert median_ratio_by_platform(points)["dYdX"] == pytest.approx(0.2)
+        assert median_ratio_by_platform(points)["MakerDAO"] == pytest.approx(0.01)
+
+    def test_median_robust_to_outlier_month(self):
+        points = [ProfitVolumePoint("MakerDAO", f"2020-0{i}", 1.0, 100.0) for i in range(1, 6)]
+        points.append(ProfitVolumePoint("MakerDAO", "2020-06", 1_000.0, 100.0))
+        assert median_ratio_by_platform(points)["MakerDAO"] == pytest.approx(0.01)
+        assert average_ratio_by_platform(points)["MakerDAO"] > 0.01
+
+    def test_ranking_orders_borrower_friendly_first(self):
+        points = [
+            ProfitVolumePoint("dYdX", "2020-05", 50.0, 100.0),
+            ProfitVolumePoint("MakerDAO", "2020-05", 1.0, 100.0),
+            ProfitVolumePoint("Compound", "2020-05", 10.0, 100.0),
+        ]
+        assert rank_platforms(points) == ["MakerDAO", "Compound", "dYdX"]
+
+    def test_borrower_favourability_summary(self):
+        points = [
+            ProfitVolumePoint("Compound", "2020-05", 10.0, 100.0),
+            ProfitVolumePoint("Compound", "2020-06", 20.0, 100.0),
+        ]
+        summary = borrower_favourability(points)
+        assert summary["Compound"]["months"] == 2.0
+        assert summary["Compound"]["max_ratio"] == pytest.approx(0.2)
+
+
+class TestConfiguration:
+    def test_paper_parameterisations_are_reasonable(self):
+        assert is_reasonable_configuration(0.8, 0.05)
+        assert is_reasonable_configuration(0.75, 0.08)
+
+    def test_extreme_parameterisation_is_unreasonable(self):
+        assert not is_reasonable_configuration(0.95, 0.10)
+
+    def test_equation_16_spread_upper_bound(self):
+        position = SimplePosition(collateral_usd=1_200.0, debt_usd=1_000.0)
+        assert spread_upper_bound(position) == pytest.approx(0.2)
+
+    def test_under_collateralized_position_admits_no_spread(self):
+        position = SimplePosition(collateral_usd=900.0, debt_usd=1_000.0)
+        assert spread_upper_bound(position) < 0.0
+
+    def test_liquidation_improves_health_when_spread_below_bound(self):
+        params = LiquidationParams(liquidation_threshold=0.75, liquidation_spread=0.08, close_factor=0.5)
+        position = SimplePosition(collateral_usd=1_300.0, debt_usd=1_000.0)
+        assert liquidation_improves_health(position, 100.0, params)
+
+    def test_liquidation_hurts_health_when_spread_above_bound(self):
+        params = LiquidationParams(liquidation_threshold=0.9, liquidation_spread=0.30, close_factor=0.5)
+        position = SimplePosition(collateral_usd=1_100.0, debt_usd=1_000.0)
+        assert not liquidation_improves_health(position, 100.0, params)
+        assert health_factor_after_liquidation(position, 100.0, params) < position.health_factor(0.9)
+
+    def test_sweep_contains_both_regimes(self):
+        checks = sweep_configurations()
+        share = reasonable_fraction(checks)
+        assert 0.0 < share < 1.0

@@ -1,0 +1,115 @@
+"""Tests for the experiment harnesses (one per table/figure)."""
+
+import pytest
+
+from repro.experiments import (
+    case_study,
+    close_factor_ablation,
+    configuration_sweep,
+    fig4_accumulative,
+    fig5_monthly_profit,
+    fig6_gas_prices,
+    fig7_auctions,
+    fig8_sensitivity,
+    fig9_profit_volume,
+    mitigation,
+    run_all,
+    render_all,
+    stablecoin,
+    table1_overview,
+    table2_bad_debt,
+    table3_unprofitable,
+    table4_flash_loans,
+    table7_price_movement,
+    table8_monthly,
+)
+from repro.experiments.runner import EXPERIMENT_IDS
+
+
+class TestCaseStudy:
+    """Tables 5 and 6 are deterministic; they should match the paper closely."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return case_study.compute()
+
+    def test_table5_position_status_matches_paper(self, data):
+        assert data.before.total_collateral_usd == pytest.approx(135.07e6, rel=1e-3)
+        assert data.before.borrowing_capacity_usd == pytest.approx(101.30e6, rel=1e-3)
+        assert data.before.total_debt_usd == pytest.approx(101.18e6, rel=1e-3)
+        assert data.after.total_collateral_usd == pytest.approx(136.73e6, rel=1e-3)
+        assert data.after.borrowing_capacity_usd == pytest.approx(102.55e6, rel=1e-3)
+        assert data.after.total_debt_usd == pytest.approx(102.61e6, rel=1e-3)
+
+    def test_position_becomes_liquidatable_only_after_oracle_update(self, data):
+        assert data.before.health_factor > 1.0
+        assert data.after.health_factor < 1.0
+
+    def test_strategy_ordering(self, data):
+        profits = {execution.name: execution.profit_usd for execution in data.executions}
+        assert profits["optimal"] > profits["up-to-close-factor"] > profits["original"]
+
+    def test_optimal_extra_profit_close_to_paper(self, data):
+        # Paper: the optimal strategy adds 53.96K USD over the original liquidation.
+        assert data.optimal_extra_profit_usd == pytest.approx(53_960.0, rel=0.05)
+
+    def test_optimal_first_liquidation_is_small(self, data):
+        optimal = data.executions[2]
+        assert optimal.repays_usd[0] < 0.01 * optimal.repays_usd[1]
+
+    def test_mitigation_threshold_matches_paper(self, data):
+        # Paper: a mining liquidator needs > 99.68 % mining power.
+        assert data.mitigation_alpha_threshold == pytest.approx(0.9968, abs=0.002)
+
+    def test_render_mentions_both_tables(self, data):
+        text = case_study.render(data)
+        assert "Table 5" in text and "Table 6" in text
+
+
+class TestAnalyticExperiments:
+    def test_mitigation_thresholds_increase_toward_one(self):
+        data = mitigation.compute()
+        thresholds = [data.thresholds_by_cr[cr] for cr in sorted(data.thresholds_by_cr)]
+        assert all(value >= 0.0 for value in thresholds)
+        assert max(thresholds) > 0.5
+        assert data.case_study.alpha_threshold > 0.9
+        assert "mining power" in mitigation.render(data)
+
+    def test_configuration_sweep_production_markets_reasonable(self):
+        data = configuration_sweep.compute()
+        assert all(data.production_configs.values())
+        assert 0.0 < data.reasonable_share < 1.0
+        assert "Appendix C" in configuration_sweep.render(data)
+
+    def test_close_factor_ablation_shows_over_liquidation(self):
+        data = close_factor_ablation.compute()
+        by_cf = {point.close_factor: point for point in data.points}
+        assert by_cf[0.5].repay_allowed_usd > by_cf[0.5].repay_needed_usd
+        assert by_cf[1.0].excess_loss_usd > by_cf[0.25].excess_loss_usd
+        assert "close factor" in close_factor_ablation.render(data).lower()
+
+
+class TestScenarioExperiments:
+    def test_record_based_experiments_render(self, small_records):
+        for module in (fig4_accumulative, table1_overview, fig5_monthly_profit, table8_monthly):
+            data = module.compute(small_records)
+            text = module.render(data)
+            assert isinstance(text, str) and len(text) > 50
+
+    def test_result_based_experiments_render(self, small_result):
+        for module in (fig6_gas_prices, fig7_auctions, table2_bad_debt, table3_unprofitable, table4_flash_loans, fig8_sensitivity, stablecoin):
+            data = module.compute(small_result)
+            text = module.render(data)
+            assert isinstance(text, str) and len(text) > 30
+
+    def test_joint_experiments_render(self, small_result, small_records):
+        for module in (fig9_profit_volume, table7_price_movement):
+            data = module.compute(small_result, small_records)
+            assert isinstance(module.render(data), str)
+
+    def test_run_all_covers_every_experiment(self, small_result):
+        outputs = run_all(small_result)
+        assert set(outputs) == set(EXPERIMENT_IDS)
+        report = render_all(outputs)
+        for fragment in ("Table 1", "Figure 4", "Figure 8", "Table 6", "Appendix C"):
+            assert fragment in report

@@ -1,0 +1,90 @@
+"""Unit tests for the fixed spread liquidation model (Section 3.2.2)."""
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.core.fixed_spread import (
+    LiquidationError,
+    liquidate,
+    max_repayable_debt,
+    quote_liquidation,
+)
+from repro.core.position import Position
+from repro.core.terminology import LiquidationParams
+
+PRICES = {"ETH": 3_300.0, "USDC": 1.0}
+THRESHOLDS = {"ETH": 0.8, "USDC": 0.85}
+PARAMS = LiquidationParams(liquidation_threshold=0.8, liquidation_spread=0.10, close_factor=0.5)
+
+
+@pytest.fixture()
+def paper_position():
+    """The Section 3.2.2 worked example after the ETH price decline."""
+    position = Position(owner=make_address("example-borrower"))
+    position.add_collateral("ETH", 3.0)  # worth 9,900 USD at 3,300 USD/ETH
+    position.add_debt("USDC", 8_400.0)
+    return position
+
+
+class TestQuote:
+    def test_paper_example_profit(self, paper_position):
+        quote = quote_liquidation(paper_position, "USDC", "ETH", 4_200.0, PARAMS, PRICES, THRESHOLDS)
+        assert quote.repay_usd == pytest.approx(4_200.0)
+        assert quote.collateral_usd == pytest.approx(4_620.0)
+        assert quote.profit_usd == pytest.approx(420.0)
+
+    def test_paper_example_health_factor_before(self, paper_position):
+        quote = quote_liquidation(paper_position, "USDC", "ETH", 4_200.0, PARAMS, PRICES, THRESHOLDS)
+        assert quote.health_factor_before == pytest.approx(0.942857, rel=1e-4)
+
+    def test_liquidation_improves_health_factor(self, paper_position):
+        quote = quote_liquidation(paper_position, "USDC", "ETH", 4_200.0, PARAMS, PRICES, THRESHOLDS)
+        assert quote.health_factor_after > quote.health_factor_before
+
+    def test_healthy_position_cannot_be_liquidated(self):
+        position = Position(owner=make_address("healthy"))
+        position.add_collateral("ETH", 3.0)
+        position.add_debt("USDC", 1_000.0)
+        with pytest.raises(LiquidationError):
+            quote_liquidation(position, "USDC", "ETH", 500.0, PARAMS, PRICES, THRESHOLDS)
+
+    def test_close_factor_cap_enforced(self, paper_position):
+        with pytest.raises(LiquidationError):
+            quote_liquidation(paper_position, "USDC", "ETH", 5_000.0, PARAMS, PRICES, THRESHOLDS)
+
+    def test_close_factor_cap_can_be_lifted(self, paper_position):
+        quote = quote_liquidation(
+            paper_position, "USDC", "ETH", 6_000.0, PARAMS, PRICES, THRESHOLDS, enforce_close_factor=False
+        )
+        assert quote.repay_amount == pytest.approx(6_000.0)
+
+    def test_zero_repay_rejected(self, paper_position):
+        with pytest.raises(LiquidationError):
+            quote_liquidation(paper_position, "USDC", "ETH", 0.0, PARAMS, PRICES, THRESHOLDS)
+
+    def test_unknown_debt_symbol_rejected(self, paper_position):
+        with pytest.raises(LiquidationError):
+            quote_liquidation(paper_position, "DAI", "ETH", 100.0, PARAMS, PRICES, {"ETH": 0.8, "DAI": 0.75})
+
+    def test_seizure_clamped_to_available_collateral(self):
+        position = Position(owner=make_address("thin"))
+        position.add_collateral("ETH", 0.1)  # 330 USD of collateral
+        position.add_debt("USDC", 5_000.0)
+        quote = quote_liquidation(position, "USDC", "ETH", 2_500.0, PARAMS, PRICES, THRESHOLDS)
+        assert quote.collateral_amount == pytest.approx(0.1)
+        assert quote.repay_usd == pytest.approx(330.0 / 1.10)
+
+
+class TestMaxRepayableAndApply:
+    def test_max_repayable_respects_close_factor(self, paper_position):
+        assert max_repayable_debt(paper_position, "USDC", PARAMS, PRICES) == pytest.approx(4_200.0)
+
+    def test_liquidate_mutates_position(self, paper_position):
+        quote = liquidate(paper_position, "USDC", "ETH", 4_200.0, PARAMS, PRICES, THRESHOLDS)
+        assert paper_position.debt["USDC"] == pytest.approx(4_200.0)
+        assert paper_position.collateral["ETH"] == pytest.approx(3.0 - quote.collateral_amount)
+
+    def test_two_successive_liquidations_reduce_debt_twice(self, paper_position):
+        liquidate(paper_position, "USDC", "ETH", 4_200.0, PARAMS, PRICES, THRESHOLDS)
+        remaining_cap = max_repayable_debt(paper_position, "USDC", PARAMS, PRICES)
+        assert remaining_cap == pytest.approx(2_100.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the optimal fixed spread liquidation strategy (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.optimal_strategy import (
+    SimplePosition,
+    StrategyError,
+    compare_strategies,
+    liquidate_simple,
+    mitigation_analysis,
+    optimal_first_repay,
+    optimal_profit_closed_form,
+    optimal_strategy,
+    profit_increase_rate,
+    up_to_close_factor_strategy,
+)
+from repro.core.terminology import LiquidationParams
+
+PARAMS = LiquidationParams(liquidation_threshold=0.75, liquidation_spread=0.08, close_factor=0.5)
+
+
+@pytest.fixture()
+def liquidatable_position():
+    # CR ≈ 1.31, HF ≈ 0.985 < 1.
+    return SimplePosition(collateral_usd=1_315_000.0, debt_usd=1_000_000.0)
+
+
+class TestSimplePosition:
+    def test_health_factor(self, liquidatable_position):
+        assert liquidatable_position.health_factor(0.75) == pytest.approx(0.98625)
+
+    def test_liquidatable(self, liquidatable_position):
+        assert liquidatable_position.is_liquidatable(0.75)
+
+    def test_debt_free_position_never_liquidatable(self):
+        position = SimplePosition(collateral_usd=100.0, debt_usd=0.0)
+        assert math.isinf(position.health_factor(0.75))
+
+    def test_liquidate_simple_follows_algorithm_2(self, liquidatable_position):
+        after = liquidate_simple(liquidatable_position, 100_000.0, PARAMS)
+        assert after.debt_usd == pytest.approx(900_000.0)
+        assert after.collateral_usd == pytest.approx(1_315_000.0 - 108_000.0)
+
+
+class TestUpToCloseFactor:
+    def test_repays_close_factor_of_debt(self, liquidatable_position):
+        outcome = up_to_close_factor_strategy(liquidatable_position, PARAMS)
+        assert outcome.repays_usd == (pytest.approx(500_000.0),)
+
+    def test_profit_is_spread_on_repay(self, liquidatable_position):
+        outcome = up_to_close_factor_strategy(liquidatable_position, PARAMS)
+        assert outcome.profit_usd == pytest.approx(500_000.0 * 0.08)
+
+    def test_requires_liquidatable_position(self):
+        with pytest.raises(StrategyError):
+            up_to_close_factor_strategy(SimplePosition(2_000_000.0, 1_000_000.0), PARAMS)
+
+
+class TestOptimalStrategy:
+    def test_first_repay_keeps_position_exactly_at_health_one(self, liquidatable_position):
+        repay_1 = optimal_first_repay(liquidatable_position, PARAMS)
+        after = liquidate_simple(liquidatable_position, repay_1, PARAMS)
+        assert after.health_factor(PARAMS.liquidation_threshold) == pytest.approx(1.0, rel=1e-9)
+
+    def test_equation_6_closed_form(self, liquidatable_position):
+        expected = (1_000_000.0 - 0.75 * 1_315_000.0) / (1.0 - 0.75 * 1.08)
+        assert optimal_first_repay(liquidatable_position, PARAMS) == pytest.approx(expected)
+
+    def test_optimal_beats_up_to_close_factor(self, liquidatable_position):
+        outcomes = compare_strategies(liquidatable_position, PARAMS)
+        assert outcomes["optimal"].profit_usd > outcomes["up-to-close-factor"].profit_usd
+
+    def test_closed_form_matches_constructive_profit(self, liquidatable_position):
+        outcome = optimal_strategy(liquidatable_position, PARAMS)
+        assert outcome.profit_usd == pytest.approx(optimal_profit_closed_form(liquidatable_position, PARAMS))
+
+    def test_profit_increase_rate_equation_9(self, liquidatable_position):
+        outcomes = compare_strategies(liquidatable_position, PARAMS)
+        measured = (outcomes["optimal"].profit_usd - outcomes["up-to-close-factor"].profit_usd) / outcomes[
+            "up-to-close-factor"
+        ].profit_usd
+        assert profit_increase_rate(liquidatable_position, PARAMS) == pytest.approx(measured, rel=1e-9)
+
+    def test_increase_rate_larger_for_lower_collateralization(self):
+        low_cr = SimplePosition(collateral_usd=1_280_000.0, debt_usd=1_000_000.0)
+        high_cr = SimplePosition(collateral_usd=1_330_000.0, debt_usd=1_000_000.0)
+        assert profit_increase_rate(low_cr, PARAMS) > profit_increase_rate(high_cr, PARAMS)
+
+    def test_no_close_factor_means_no_advantage(self, liquidatable_position):
+        params = LiquidationParams(liquidation_threshold=0.75, liquidation_spread=0.08, close_factor=1.0)
+        assert profit_increase_rate(liquidatable_position, params) == 0.0
+
+    def test_unreasonable_parameters_rejected(self, liquidatable_position):
+        params = LiquidationParams(liquidation_threshold=0.95, liquidation_spread=0.10, close_factor=0.5)
+        with pytest.raises(StrategyError):
+            optimal_first_repay(liquidatable_position, params)
+
+    def test_healthy_position_rejected(self):
+        with pytest.raises(StrategyError):
+            optimal_strategy(SimplePosition(2_000_000.0, 1_000_000.0), PARAMS)
+
+
+class TestMitigation:
+    def test_expected_profits_equations_10_11(self, liquidatable_position):
+        analysis = mitigation_analysis(liquidatable_position, PARAMS)
+        alpha = 0.3
+        assert analysis.expected_profit_close_factor(alpha) == pytest.approx(alpha * analysis.profit_close_factor_usd)
+        assert analysis.expected_profit_optimal(alpha) == pytest.approx(
+            alpha * analysis.profit_optimal_first_usd + alpha**2 * analysis.profit_optimal_second_usd
+        )
+
+    def test_threshold_separates_preferences(self, liquidatable_position):
+        analysis = mitigation_analysis(liquidatable_position, PARAMS)
+        threshold = analysis.alpha_threshold
+        assert 0.0 < threshold < 1.0
+        assert analysis.prefers_optimal(min(threshold + 0.01, 0.999))
+        assert not analysis.prefers_optimal(max(threshold - 0.01, 0.001))
+
+    def test_small_miners_prefer_up_to_close_factor(self, liquidatable_position):
+        analysis = mitigation_analysis(liquidatable_position, PARAMS)
+        assert not analysis.prefers_optimal(0.05)

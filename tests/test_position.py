@@ -1,0 +1,113 @@
+"""Unit tests for multi-asset borrowing positions."""
+
+import math
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.core.position import Position
+
+PRICES = {"ETH": 2_000.0, "DAI": 1.0, "USDC": 1.0, "WBTC": 30_000.0}
+THRESHOLDS = {"ETH": 0.8, "DAI": 0.75, "USDC": 0.85, "WBTC": 0.7}
+
+
+@pytest.fixture()
+def position():
+    position = Position(owner=make_address("borrower"))
+    position.add_collateral("ETH", 3.0)
+    position.add_debt("DAI", 4_000.0)
+    return position
+
+
+class TestMutation:
+    def test_add_collateral_accumulates(self, position):
+        position.add_collateral("ETH", 2.0)
+        assert position.collateral["ETH"] == pytest.approx(5.0)
+
+    def test_remove_collateral(self, position):
+        position.remove_collateral("ETH", 1.0)
+        assert position.collateral["ETH"] == pytest.approx(2.0)
+
+    def test_remove_all_collateral_clears_entry(self, position):
+        position.remove_collateral("ETH", 3.0)
+        assert "ETH" not in position.collateral
+
+    def test_remove_too_much_collateral_raises(self, position):
+        with pytest.raises(ValueError):
+            position.remove_collateral("ETH", 4.0)
+
+    def test_reduce_debt(self, position):
+        position.reduce_debt("DAI", 1_000.0)
+        assert position.debt["DAI"] == pytest.approx(3_000.0)
+
+    def test_full_repayment_clears_debt(self, position):
+        position.reduce_debt("DAI", 4_000.0)
+        assert not position.has_debt
+
+    def test_overpayment_raises(self, position):
+        with pytest.raises(ValueError):
+            position.reduce_debt("DAI", 5_000.0)
+
+    def test_negative_amounts_rejected(self, position):
+        with pytest.raises(ValueError):
+            position.add_collateral("ETH", -1.0)
+        with pytest.raises(ValueError):
+            position.add_debt("DAI", -1.0)
+
+    def test_scale_debt_applies_interest(self, position):
+        position.scale_debt(1.1)
+        assert position.debt["DAI"] == pytest.approx(4_400.0)
+
+
+class TestValuation:
+    def test_total_collateral_usd(self, position):
+        assert position.total_collateral_usd(PRICES) == pytest.approx(6_000.0)
+
+    def test_total_debt_usd(self, position):
+        assert position.total_debt_usd(PRICES) == pytest.approx(4_000.0)
+
+    def test_borrowing_capacity(self, position):
+        assert position.borrowing_capacity(PRICES, THRESHOLDS) == pytest.approx(4_800.0)
+
+    def test_health_factor(self, position):
+        assert position.health_factor(PRICES, THRESHOLDS) == pytest.approx(1.2)
+
+    def test_collateralization_ratio(self, position):
+        assert position.collateralization_ratio(PRICES) == pytest.approx(1.5)
+
+    def test_becomes_liquidatable_when_price_drops(self, position):
+        crashed = dict(PRICES, ETH=1_500.0)
+        assert position.is_liquidatable(crashed, THRESHOLDS)
+
+    def test_healthy_at_current_prices(self, position):
+        assert not position.is_liquidatable(PRICES, THRESHOLDS)
+
+    def test_multi_asset_position_aggregates(self):
+        position = Position(owner=make_address("multi"))
+        position.add_collateral("ETH", 1.0)
+        position.add_collateral("WBTC", 0.1)
+        position.add_debt("DAI", 1_000.0)
+        position.add_debt("USDC", 500.0)
+        assert position.total_collateral_usd(PRICES) == pytest.approx(5_000.0)
+        assert position.total_debt_usd(PRICES) == pytest.approx(1_500.0)
+
+    def test_empty_position_has_infinite_health(self):
+        position = Position(owner=make_address("empty"))
+        assert math.isinf(position.health_factor(PRICES, THRESHOLDS))
+        assert position.is_empty
+
+
+class TestIntrospection:
+    def test_symbols_listing(self, position):
+        assert position.collateral_symbols() == ["ETH"]
+        assert position.debt_symbols() == ["DAI"]
+
+    def test_copy_is_independent(self, position):
+        clone = position.copy()
+        clone.add_debt("DAI", 1_000.0)
+        assert position.debt["DAI"] == pytest.approx(4_000.0)
+
+    def test_summary_contains_headline_values(self, position):
+        summary = position.summary(PRICES, THRESHOLDS)
+        assert summary["collateral_usd"] == pytest.approx(6_000.0)
+        assert summary["health_factor"] == pytest.approx(1.2)

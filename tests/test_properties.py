@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.core.fixed_spread import LiquidationError, quote_liquidation
+from repro.core.optimal_strategy import (
+    SimplePosition,
+    liquidate_simple,
+    optimal_strategy,
+    up_to_close_factor_strategy,
+)
+from repro.core.position import Position
+from repro.core.terminology import LiquidationParams, collateral_to_claim, health_factor
+from repro.tokens.token import Token
+
+reasonable_params = st.builds(
+    LiquidationParams,
+    liquidation_threshold=st.floats(min_value=0.4, max_value=0.85),
+    liquidation_spread=st.floats(min_value=0.0, max_value=0.15),
+    close_factor=st.floats(min_value=0.1, max_value=1.0),
+).filter(lambda params: params.is_reasonable)
+
+liquidatable_positions = st.builds(
+    SimplePosition,
+    collateral_usd=st.floats(min_value=1_000.0, max_value=1e9),
+    debt_usd=st.floats(min_value=1_000.0, max_value=1e9),
+)
+
+
+class TestCoreProperties:
+    @given(repay=st.floats(min_value=0.0, max_value=1e12), spread=st.floats(min_value=0.0, max_value=1.0))
+    def test_collateral_claim_never_below_repay(self, repay, spread):
+        assert collateral_to_claim(repay, spread) >= repay
+
+    @given(capacity=st.floats(min_value=0.0, max_value=1e12), debt=st.floats(min_value=1e-6, max_value=1e12))
+    def test_health_factor_scale_invariance(self, capacity, debt):
+        scaled = health_factor(capacity * 3.0, debt * 3.0)
+        assert scaled == pytest.approx(health_factor(capacity, debt), rel=1e-9)
+
+    @settings(max_examples=60)
+    @given(position=liquidatable_positions, params=reasonable_params)
+    def test_optimal_strategy_never_worse_than_close_factor(self, position, params):
+        if not position.is_liquidatable(params.liquidation_threshold):
+            return
+        optimal = optimal_strategy(position, params)
+        close = up_to_close_factor_strategy(position, params)
+        assert optimal.profit_usd >= close.profit_usd - 1e-6
+
+    @settings(max_examples=60)
+    @given(position=liquidatable_positions, params=reasonable_params)
+    def test_optimal_first_liquidation_restores_health_to_at_most_one(self, position, params):
+        if not position.is_liquidatable(params.liquidation_threshold):
+            return
+        outcome = optimal_strategy(position, params)
+        intermediate = liquidate_simple(position, outcome.repays_usd[0], params)
+        assert intermediate.health_factor(params.liquidation_threshold) <= 1.0 + 1e-6
+
+    @settings(max_examples=60)
+    @given(
+        collateral=st.floats(min_value=0.5, max_value=100.0),
+        debt=st.floats(min_value=100.0, max_value=200_000.0),
+        repay_fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_fixed_spread_quote_conserves_value(self, collateral, debt, repay_fraction):
+        prices = {"ETH": 2_000.0, "DAI": 1.0}
+        thresholds = {"ETH": 0.8, "DAI": 0.75}
+        params = LiquidationParams(liquidation_threshold=0.8, liquidation_spread=0.08, close_factor=0.5)
+        position = Position(owner=make_address("prop"))
+        position.add_collateral("ETH", collateral)
+        position.add_debt("DAI", debt)
+        repay = debt * params.close_factor * repay_fraction
+        try:
+            quote = quote_liquidation(position, "DAI", "ETH", repay, params, prices, thresholds)
+        except LiquidationError:
+            return
+        # The liquidator's bonus is exactly the spread on the repaid value
+        # (unless clamped by available collateral, where it can only shrink).
+        assert quote.profit_usd <= quote.repay_usd * params.liquidation_spread + 1e-6
+        assert quote.collateral_usd == pytest.approx(quote.repay_usd + quote.profit_usd, rel=1e-9)
+        # The seized collateral can never exceed what the borrower deposited.
+        assert quote.collateral_amount <= collateral + 1e-9
+
+
+class TestTokenProperties:
+    @settings(max_examples=50)
+    @given(
+        amounts=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20),
+        transfer_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_transfers_conserve_total_supply(self, amounts, transfer_fraction):
+        token = Token(symbol="TEST")
+        alice = make_address("prop-alice")
+        bob = make_address("prop-bob")
+        for amount in amounts:
+            token.mint(alice, amount)
+        minted = token.total_supply
+        token.transfer(alice, bob, token.balance_of(alice) * transfer_fraction)
+        assert token.total_supply == pytest.approx(minted, rel=1e-12)
+        assert token.balance_of(alice) + token.balance_of(bob) == pytest.approx(minted, rel=1e-9)
+
+    @settings(max_examples=50)
+    @given(mint=st.floats(min_value=1.0, max_value=1e9), burn_fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_burns_never_create_value(self, mint, burn_fraction):
+        token = Token(symbol="TEST")
+        holder = make_address("prop-holder")
+        token.mint(holder, mint)
+        token.burn(holder, mint * burn_fraction)
+        assert token.total_supply == pytest.approx(mint * (1 - burn_fraction), rel=1e-9, abs=1e-6)
+        assert token.balance_of(holder) >= 0.0
+
+
+class TestAuctionProperties:
+    @settings(max_examples=40)
+    @given(
+        bids=st.lists(st.floats(min_value=0.01, max_value=0.95), min_size=1, max_size=6),
+        debt=st.floats(min_value=1_000.0, max_value=1e6),
+    )
+    def test_tend_bids_are_monotonically_increasing(self, bids, debt):
+        from repro.core.auction import AuctionConfig, AuctionError, TendDentAuction
+
+        auction = TendDentAuction(
+            auction_id=1,
+            borrower=make_address("prop-vault"),
+            collateral_symbol="ETH",
+            debt_symbol="DAI",
+            collateral_lot=10.0,
+            debt_target=debt,
+            start_block=0,
+            config=AuctionConfig(auction_length_blocks=10**6, bid_duration_blocks=10**6),
+        )
+        previous = 0.0
+        for index, fraction in enumerate(bids):
+            bid = debt * fraction
+            bidder = make_address(f"prop-bidder-{index}")
+            try:
+                auction.place_tend_bid(bidder, bid, block_number=index + 1)
+            except AuctionError:
+                continue
+            assert bid > previous
+            previous = bid
+        recorded = [bid.debt_bid for bid in auction.bids]
+        assert recorded == sorted(recorded)

@@ -1,0 +1,183 @@
+"""Unit tests for the lending protocols: pool mechanics and fixed spread liquidations."""
+
+import pytest
+
+from repro.chain.transaction import TransactionReverted
+from repro.chain.types import make_address
+from repro.protocols.aave import make_aave_v2
+from repro.protocols.base import ProtocolError
+from repro.protocols.compound import make_compound
+from repro.protocols.dydx import make_dydx
+from repro.protocols.interest import KinkedRateModel, StabilityFeeModel
+
+
+@pytest.fixture()
+def compound(chain, oracle, registry):
+    protocol = make_compound(chain, oracle, registry)
+    lender = make_address("lender")
+    for symbol, usd_amount in (("DAI", 10_000_000.0), ("USDC", 10_000_000.0), ("ETH", 10_000_000.0)):
+        price = oracle.price(symbol)
+        amount = usd_amount / price
+        registry.get(symbol).mint(lender, amount)
+        protocol.supply_liquidity(lender, symbol, amount)
+    return protocol
+
+
+@pytest.fixture()
+def borrower(compound, registry):
+    borrower = make_address("borrower")
+    registry.get("ETH").mint(borrower, 10.0)
+    compound.deposit(borrower, "ETH", 10.0)  # 20,000 USD collateral, LT 0.75
+    compound.borrow(borrower, "DAI", 14_000.0)
+    return borrower
+
+
+class TestPoolMechanics:
+    def test_deposit_and_borrow_update_position(self, compound, borrower):
+        position = compound.position_of(borrower)
+        assert position.collateral["ETH"] == pytest.approx(10.0)
+        assert position.debt["DAI"] == pytest.approx(14_000.0)
+
+    def test_borrow_beyond_capacity_rejected(self, compound, borrower):
+        with pytest.raises(ProtocolError):
+            compound.borrow(borrower, "DAI", 5_000.0)
+
+    def test_borrow_requires_pool_liquidity(self, chain, oracle, registry):
+        protocol = make_compound(chain, oracle, registry)
+        user = make_address("no-liquidity")
+        registry.get("ETH").mint(user, 1.0)
+        protocol.deposit(user, "ETH", 1.0)
+        with pytest.raises(ProtocolError):
+            protocol.borrow(user, "DAI", 100.0)
+
+    def test_repay_reduces_debt(self, compound, borrower, registry):
+        registry.get("DAI").mint(borrower, 4_000.0)
+        compound.repay(borrower, "DAI", 4_000.0)
+        assert compound.position_of(borrower).debt["DAI"] == pytest.approx(10_000.0)
+
+    def test_withdraw_blocked_if_position_would_become_unhealthy(self, compound, borrower):
+        with pytest.raises(ProtocolError):
+            compound.withdraw(borrower, "ETH", 9.0)
+
+    def test_withdraw_allowed_within_capacity(self, compound, borrower):
+        compound.withdraw(borrower, "ETH", 0.1)
+        assert compound.position_of(borrower).collateral["ETH"] == pytest.approx(9.9)
+
+    def test_unknown_market_rejected(self, compound):
+        with pytest.raises(ProtocolError):
+            compound.deposit(make_address("x"), "DOGE", 1.0)
+
+    def test_usdt_not_accepted_as_collateral_on_compound(self, compound, registry):
+        user = make_address("usdt-user")
+        registry.ensure("USDT").mint(user, 100.0)
+        with pytest.raises(ProtocolError):
+            compound.deposit(user, "USDT", 100.0)
+
+    def test_health_factor_query(self, compound, borrower):
+        assert compound.health_factor(borrower) == pytest.approx(20_000.0 * 0.75 / 14_000.0)
+
+    def test_accrue_interest_grows_debt(self, compound, borrower, chain):
+        debt_before = compound.position_of(borrower).debt["DAI"]
+        for _ in range(50):
+            chain.mine_block()
+        compound.accrue_interest()
+        assert compound.position_of(borrower).debt["DAI"] > debt_before
+
+    def test_snapshot_reports_positions(self, compound, borrower):
+        snapshot = compound.snapshot()
+        assert snapshot["platform"] == "Compound"
+        owners = {entry["owner"] for entry in snapshot["positions"]}
+        assert borrower.value in owners
+
+
+class TestFixedSpreadLiquidation:
+    def _crash_eth(self, oracle):
+        oracle.post_price("ETH", 1_700.0)
+
+    def test_liquidation_call_transfers_and_updates_position(self, compound, borrower, oracle, registry):
+        self._crash_eth(oracle)
+        liquidator = make_address("liquidator")
+        registry.get("DAI").mint(liquidator, 7_000.0)
+        result = compound.liquidation_call(liquidator, borrower, "DAI", "ETH", 7_000.0)
+        assert result.quote.repay_usd == pytest.approx(7_000.0)
+        assert result.quote.collateral_usd == pytest.approx(7_000.0 * 1.08)
+        assert registry.get("ETH").balance_of(liquidator) == pytest.approx(7_000.0 * 1.08 / 1_700.0)
+        assert compound.position_of(borrower).debt["DAI"] == pytest.approx(7_000.0)
+
+    def test_liquidating_healthy_position_reverts(self, compound, borrower, registry):
+        liquidator = make_address("liquidator")
+        registry.get("DAI").mint(liquidator, 7_000.0)
+        with pytest.raises(TransactionReverted):
+            compound.liquidation_call(liquidator, borrower, "DAI", "ETH", 7_000.0)
+
+    def test_close_factor_enforced_on_chain(self, compound, borrower, oracle, registry):
+        self._crash_eth(oracle)
+        liquidator = make_address("liquidator")
+        registry.get("DAI").mint(liquidator, 14_000.0)
+        with pytest.raises(TransactionReverted):
+            compound.liquidation_call(liquidator, borrower, "DAI", "ETH", 10_000.0)
+
+    def test_liquidator_without_funds_reverts(self, compound, borrower, oracle):
+        self._crash_eth(oracle)
+        with pytest.raises(TransactionReverted):
+            compound.liquidation_call(make_address("broke"), borrower, "DAI", "ETH", 7_000.0)
+
+    def test_liquidation_emits_protocol_specific_event(self, compound, borrower, oracle, registry, chain):
+        self._crash_eth(oracle)
+        liquidator = make_address("liquidator")
+        registry.get("DAI").mint(liquidator, 7_000.0)
+        compound.liquidation_call(liquidator, borrower, "DAI", "ETH", 7_000.0)
+        assert len(chain.events.by_name("LiquidateBorrow")) == 1
+
+    def test_best_liquidation_pair(self, compound, borrower, oracle):
+        self._crash_eth(oracle)
+        assert compound.best_liquidation_pair(borrower) == ("DAI", "ETH")
+
+    def test_liquidatable_positions_listing(self, compound, borrower, oracle):
+        assert compound.liquidatable_positions() == []
+        self._crash_eth(oracle)
+        assert len(compound.liquidatable_positions()) == 1
+
+
+class TestProtocolParameters:
+    def test_aave_close_factor_and_event(self, chain, oracle, registry):
+        aave = make_aave_v2(chain, oracle, registry)
+        assert aave.close_factor == pytest.approx(0.5)
+        assert aave.LIQUIDATION_EVENT == "LiquidationCall"
+        assert aave.liquidation_mechanism() == "fixed-spread"
+
+    def test_aave_spread_range_matches_paper(self, chain, oracle, registry):
+        aave = make_aave_v2(chain, oracle, registry)
+        spreads = [market.liquidation_spread for market in aave.markets.values()]
+        assert min(spreads) >= 0.05
+        assert max(spreads) <= 0.15
+
+    def test_dydx_full_close_factor(self, chain, oracle, registry):
+        dydx = make_dydx(chain, oracle, registry)
+        assert dydx.close_factor == pytest.approx(1.0)
+        assert set(dydx.markets) == {"ETH", "USDC", "DAI"}
+
+    def test_dydx_insurance_fund_writes_off_bad_debt(self, chain, oracle, registry):
+        dydx = make_dydx(chain, oracle, registry)
+        lender = make_address("dydx-lender")
+        registry.get("USDC").mint(lender, 1_000_000.0)
+        dydx.supply_liquidity(lender, "USDC", 1_000_000.0)
+        borrower = make_address("dydx-borrower")
+        registry.get("ETH").mint(borrower, 1.0)
+        dydx.deposit(borrower, "ETH", 1.0)
+        dydx.borrow(borrower, "USDC", 1_500.0)
+        oracle.post_price("ETH", 1_000.0)  # collateral now worth less than the debt
+        written_off = dydx.write_off_bad_debt()
+        assert written_off > 0
+        assert not dydx.position_of(borrower).has_debt
+
+    def test_interest_models(self):
+        model = KinkedRateModel(base_rate=0.0, slope_low=0.04, slope_high=0.75, kink=0.8)
+        assert model.borrow_apr(0.0) == pytest.approx(0.0)
+        assert model.borrow_apr(0.8) == pytest.approx(0.04)
+        assert model.borrow_apr(1.0) == pytest.approx(0.79)
+        assert model.accrual_factor(0.5, 0) == 1.0
+        assert model.accrual_factor(0.5, 1_000) > 1.0
+        fee = StabilityFeeModel(annual_rate=0.02)
+        assert fee.borrow_apr() == pytest.approx(0.02)
+        assert fee.accrual_factor(0.0, 1_000) > 1.0

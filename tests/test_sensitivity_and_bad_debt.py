@@ -1,0 +1,122 @@
+"""Unit tests for Algorithm 1 (sensitivity) and the bad-debt / unprofitable models."""
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.core.bad_debt import BadDebtType, bad_debt_report, classify_position
+from repro.core.position import Position
+from repro.core.sensitivity import (
+    liquidatable_collateral,
+    most_sensitive_symbol,
+    sensitivity_curve,
+    sensitivity_surface,
+)
+from repro.core.terminology import LiquidationParams
+from repro.core.unprofitable import best_liquidation_profit, find_opportunities, unprofitable_report
+
+PRICES = {"ETH": 2_000.0, "DAI": 1.0, "WBTC": 30_000.0}
+THRESHOLDS = {"ETH": 0.8, "DAI": 0.75, "WBTC": 0.7}
+PARAMS = LiquidationParams(liquidation_threshold=0.8, liquidation_spread=0.08, close_factor=0.5)
+
+
+def make_position(collateral_eth: float, debt_dai: float, owner: str = "b") -> Position:
+    position = Position(owner=make_address(owner))
+    position.add_collateral("ETH", collateral_eth)
+    position.add_debt("DAI", debt_dai)
+    return position
+
+
+class TestSensitivity:
+    def test_healthy_position_not_counted_at_zero_decline(self):
+        positions = [make_position(1.0, 1_000.0)]
+        assert liquidatable_collateral(positions, "ETH", 0.0, PRICES, THRESHOLDS) == 0.0
+
+    def test_position_becomes_liquidatable_under_decline(self):
+        positions = [make_position(1.0, 1_500.0)]  # HF = 1.0667 at current prices
+        assert liquidatable_collateral(positions, "ETH", 0.0, PRICES, THRESHOLDS) == 0.0
+        value = liquidatable_collateral(positions, "ETH", 0.2, PRICES, THRESHOLDS)
+        assert value == pytest.approx(2_000.0 * 0.8)  # collateral valued after the decline
+
+    def test_decline_of_unrelated_currency_has_no_effect(self):
+        positions = [make_position(1.0, 1_500.0)]
+        assert liquidatable_collateral(positions, "WBTC", 0.9, PRICES, THRESHOLDS) == 0.0
+
+    def test_debt_in_declining_currency_also_shrinks(self):
+        position = Position(owner=make_address("short"))
+        position.add_collateral("ETH", 1.0)
+        position.add_debt("ETH", 0.7)
+        # Debt and collateral decline together: the position never liquidates.
+        assert liquidatable_collateral([position], "ETH", 0.5, PRICES, THRESHOLDS) == 0.0
+
+    def test_curve_is_monotone_in_count_of_liquidatable_positions(self):
+        positions = [make_position(1.0, debt, owner=f"b{debt}") for debt in (1_200.0, 1_400.0, 1_550.0)]
+        curve = sensitivity_curve(positions, "ETH", PRICES, THRESHOLDS, declines=[0.0, 0.1, 0.3, 0.6])
+        values = [point.liquidatable_collateral_usd for point in curve]
+        assert values[0] == 0.0
+        assert values[2] > 0.0
+
+    def test_invalid_decline_rejected(self):
+        with pytest.raises(ValueError):
+            liquidatable_collateral([], "ETH", 1.5, PRICES, THRESHOLDS)
+
+    def test_most_sensitive_symbol_picks_the_largest_peak(self):
+        positions = [make_position(10.0, 15_500.0)]
+        surface = sensitivity_surface(positions, ["ETH", "WBTC"], PRICES, THRESHOLDS, declines=[0.0, 0.5, 1.0])
+        assert most_sensitive_symbol(surface) == "ETH"
+
+
+class TestBadDebt:
+    def test_type_i_when_under_collateralized(self):
+        record = classify_position(make_position(1.0, 2_500.0), PRICES, 100.0)
+        assert record.kind is BadDebtType.TYPE_I
+
+    def test_type_ii_when_excess_below_fee(self):
+        record = classify_position(make_position(0.001, 1.95), PRICES, 100.0)
+        assert record.kind is BadDebtType.TYPE_II
+
+    def test_healthy_when_excess_covers_fee(self):
+        record = classify_position(make_position(1.0, 500.0), PRICES, 100.0)
+        assert record.kind is BadDebtType.HEALTHY
+
+    def test_report_counts_and_collateral(self):
+        positions = [
+            make_position(1.0, 2_500.0, "under"),
+            make_position(0.001, 1.95, "dust"),
+            make_position(1.0, 500.0, "fine"),
+            Position(owner=make_address("no-debt")),
+        ]
+        report = bad_debt_report(positions, PRICES, 100.0)
+        assert report.total_positions == 3  # debt-free positions excluded
+        assert report.type_i_count == 1
+        assert report.type_ii_count == 1
+        assert report.locked_collateral_usd == pytest.approx(2_000.0 + 2.0)
+
+    def test_higher_fee_captures_more_type_ii(self):
+        positions = [make_position(0.03, 10.0, "small")]  # 60 USD collateral, 50 USD excess
+        low_fee = bad_debt_report(positions, PRICES, 10.0)
+        high_fee = bad_debt_report(positions, PRICES, 100.0)
+        assert low_fee.type_ii_count == 0
+        assert high_fee.type_ii_count == 1
+
+
+class TestUnprofitable:
+    def test_profitable_opportunity_detected(self):
+        positions = [make_position(1.0, 1_700.0)]  # liquidatable, sizeable
+        report = unprofitable_report(positions, PARAMS, PRICES, THRESHOLDS, 10.0)
+        assert report.liquidatable_positions == 1
+        assert report.unprofitable_count == 0
+
+    def test_small_position_is_unprofitable(self):
+        positions = [make_position(0.001, 1.8)]  # bonus worth a few cents
+        report = unprofitable_report(positions, PARAMS, PRICES, THRESHOLDS, 10.0)
+        assert report.unprofitable_count == 1
+        assert report.unprofitable_share == 1.0
+
+    def test_healthy_positions_are_not_opportunities(self):
+        positions = [make_position(1.0, 500.0)]
+        assert find_opportunities(positions, PARAMS, PRICES, THRESHOLDS, 10.0) == []
+
+    def test_best_profit_bounded_by_collateral(self):
+        position = make_position(0.01, 1_000.0)  # 20 USD collateral against 1,000 USD debt
+        profit = best_liquidation_profit(position, PARAMS, PRICES)
+        assert profit <= 20.0

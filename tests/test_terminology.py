@@ -1,0 +1,105 @@
+"""Unit tests for the core terminology (Equations 1-4)."""
+
+import math
+
+import pytest
+
+from repro.core.terminology import (
+    LiquidationParams,
+    borrowing_capacity,
+    collateral_to_claim,
+    collateralization_ratio,
+    health_factor,
+    is_liquidatable,
+    is_under_collateralized,
+    liquidation_profit,
+)
+
+
+class TestCollateralToClaim:
+    def test_matches_equation_1(self):
+        assert collateral_to_claim(1_000.0, 0.1) == pytest.approx(1_100.0)
+
+    def test_zero_spread_claims_exactly_the_repaid_value(self):
+        assert collateral_to_claim(500.0, 0.0) == pytest.approx(500.0)
+
+    def test_paper_example_liquidation(self):
+        # Section 3.2.2: repaying 4,200 USDC at LS = 10% claims 4,620 USD of ETH.
+        assert collateral_to_claim(4_200.0, 0.10) == pytest.approx(4_620.0)
+
+    def test_negative_repay_rejected(self):
+        with pytest.raises(ValueError):
+            collateral_to_claim(-1.0, 0.1)
+
+    def test_profit_is_spread_times_repay(self):
+        assert liquidation_profit(4_200.0, 0.10) == pytest.approx(420.0)
+
+
+class TestCollateralizationRatio:
+    def test_over_collateralized(self):
+        assert collateralization_ratio(150.0, 100.0) == pytest.approx(1.5)
+
+    def test_under_collateralized(self):
+        assert is_under_collateralized(90.0, 100.0)
+
+    def test_exactly_collateralized_is_not_under(self):
+        assert not is_under_collateralized(100.0, 100.0)
+
+    def test_no_debt_gives_infinite_ratio(self):
+        assert math.isinf(collateralization_ratio(100.0, 0.0))
+
+
+class TestBorrowingCapacity:
+    def test_single_asset(self):
+        assert borrowing_capacity({"ETH": 10_500.0}, {"ETH": 0.8}) == pytest.approx(8_400.0)
+
+    def test_multi_asset_sums_per_asset_thresholds(self):
+        capacity = borrowing_capacity({"ETH": 1_000.0, "WBTC": 2_000.0}, {"ETH": 0.8, "WBTC": 0.6})
+        assert capacity == pytest.approx(1_000.0 * 0.8 + 2_000.0 * 0.6)
+
+    def test_unknown_asset_contributes_nothing(self):
+        assert borrowing_capacity({"XYZ": 1_000.0}, {"ETH": 0.8}) == 0.0
+
+    def test_negative_collateral_rejected(self):
+        with pytest.raises(ValueError):
+            borrowing_capacity({"ETH": -1.0}, {"ETH": 0.8})
+
+
+class TestHealthFactor:
+    def test_paper_fixed_spread_example(self):
+        # Section 3.2.2: BC 7,920 USD over 8,400 USD debt gives HF ≈ 0.94.
+        assert health_factor(7_920.0, 8_400.0) == pytest.approx(0.942857, rel=1e-5)
+
+    def test_liquidatable_below_one(self):
+        assert is_liquidatable(7_920.0, 8_400.0)
+
+    def test_healthy_above_one(self):
+        assert not is_liquidatable(8_400.0, 7_920.0)
+
+    def test_no_debt_is_never_liquidatable(self):
+        assert math.isinf(health_factor(100.0, 0.0))
+        assert not is_liquidatable(100.0, 0.0)
+
+
+class TestLiquidationParams:
+    def test_reasonable_configuration(self):
+        params = LiquidationParams(liquidation_threshold=0.8, liquidation_spread=0.1, close_factor=0.5)
+        assert params.is_reasonable
+
+    def test_unreasonable_configuration(self):
+        params = LiquidationParams(liquidation_threshold=0.95, liquidation_spread=0.1, close_factor=0.5)
+        assert not params.is_reasonable
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.5])
+    def test_invalid_threshold_rejected(self, threshold):
+        with pytest.raises(ValueError):
+            LiquidationParams(liquidation_threshold=threshold, liquidation_spread=0.1, close_factor=0.5)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            LiquidationParams(liquidation_threshold=0.8, liquidation_spread=-0.01, close_factor=0.5)
+
+    @pytest.mark.parametrize("close_factor", [0.0, 1.5])
+    def test_invalid_close_factor_rejected(self, close_factor):
+        with pytest.raises(ValueError):
+            LiquidationParams(liquidation_threshold=0.8, liquidation_spread=0.05, close_factor=close_factor)

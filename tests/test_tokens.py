@@ -1,0 +1,113 @@
+"""Unit tests for the token substrate."""
+
+import pytest
+
+from repro.chain.types import make_address
+from repro.tokens.registry import STABLECOIN_SYMBOLS, TokenRegistry, UnknownToken, default_registry, inception_prices
+from repro.tokens.token import InsufficientBalance, Token
+
+ALICE = make_address("alice")
+BOB = make_address("bob")
+
+
+class TestToken:
+    def test_mint_credits_balance_and_supply(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 100.0)
+        assert token.balance_of(ALICE) == pytest.approx(100.0)
+        assert token.total_supply == pytest.approx(100.0)
+
+    def test_transfer_moves_balance(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 100.0)
+        token.transfer(ALICE, BOB, 40.0)
+        assert token.balance_of(ALICE) == pytest.approx(60.0)
+        assert token.balance_of(BOB) == pytest.approx(40.0)
+
+    def test_transfer_conserves_supply(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 100.0)
+        token.transfer(ALICE, BOB, 40.0)
+        assert token.total_supply == pytest.approx(100.0)
+
+    def test_overdraft_rejected(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 10.0)
+        with pytest.raises(InsufficientBalance):
+            token.transfer(ALICE, BOB, 11.0)
+
+    def test_burn_reduces_supply(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 100.0)
+        token.burn(ALICE, 30.0)
+        assert token.total_supply == pytest.approx(70.0)
+
+    def test_burn_more_than_balance_rejected(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 10.0)
+        with pytest.raises(InsufficientBalance):
+            token.burn(ALICE, 20.0)
+
+    def test_negative_amounts_rejected(self):
+        token = Token(symbol="DAI")
+        with pytest.raises(ValueError):
+            token.mint(ALICE, -1.0)
+        with pytest.raises(ValueError):
+            token.transfer(ALICE, BOB, -1.0)
+
+    def test_transfer_all(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 55.0)
+        moved = token.transfer_all(ALICE, BOB)
+        assert moved == pytest.approx(55.0)
+        assert token.balance_of(ALICE) == pytest.approx(0.0)
+
+    def test_holders_lists_positive_balances(self):
+        token = Token(symbol="DAI")
+        token.mint(ALICE, 5.0)
+        assert ALICE in token.holders()
+        assert BOB not in token.holders()
+
+    def test_equality_by_symbol(self):
+        assert Token(symbol="DAI") == Token(symbol="DAI", name="Dai Stablecoin")
+
+
+class TestRegistry:
+    def test_default_registry_contains_major_assets(self):
+        registry = default_registry()
+        for symbol in ("ETH", "WBTC", "DAI", "USDC", "USDT"):
+            assert symbol in registry
+
+    def test_stablecoins_flagged(self):
+        registry = default_registry()
+        assert registry.get("DAI").is_stablecoin
+        assert not registry.get("ETH").is_stablecoin
+        assert {token.symbol for token in registry.stablecoins()} <= STABLECOIN_SYMBOLS
+
+    def test_get_unknown_symbol_raises(self):
+        registry = TokenRegistry()
+        with pytest.raises(UnknownToken):
+            registry.get("NOPE")
+
+    def test_ensure_creates_missing_token(self):
+        registry = TokenRegistry()
+        token = registry.ensure("NEW")
+        assert token.symbol == "NEW"
+        assert registry.ensure("NEW") is token
+
+    def test_register_is_idempotent(self):
+        registry = TokenRegistry()
+        first = registry.register(Token(symbol="ABC"))
+        second = registry.register(Token(symbol="ABC"))
+        assert first is second
+
+    def test_case_insensitive_lookup(self):
+        registry = default_registry()
+        assert registry.get("eth") is registry.get("ETH")
+
+    def test_inception_prices_cover_default_assets(self):
+        prices = inception_prices()
+        registry = default_registry()
+        for symbol in registry.symbols():
+            assert symbol in prices
+            assert prices[symbol] > 0
