@@ -1,28 +1,27 @@
 """Shared fixtures for the benchmark harness.
 
 The two-year scenario is simulated once per benchmark session (the
-``medium`` preset: full study window, reduced agent population) and every
-table/figure benchmark then measures its analytics pass against that run and
-prints the regenerated rows/series for comparison with the paper.
+``paper-medium`` registry scenario: full study window, reduced agent
+population) and every table/figure benchmark then measures its analytics
+pass against that run and prints the regenerated rows/series for comparison
+with the paper.
 
-Use ``ScenarioConfig.paper()`` instead of ``medium()`` for a full-scale run
-(slower, larger agent population).
+Use ``scenarios.get("paper-full")`` instead of ``paper-medium`` for a
+full-scale run (slower, larger agent population).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import scenarios
 from repro.analytics.records import extract_liquidations
-from repro.simulation.config import ScenarioConfig
-from repro.simulation.scenarios import build_scenario
 
 
 @pytest.fixture(scope="session")
 def scenario_result():
     """The completed two-year (medium-population) scenario run."""
-    engine = build_scenario(ScenarioConfig.medium(seed=7))
-    return engine.run()
+    return scenarios.get("paper-medium").run(seed=7)
 
 
 @pytest.fixture(scope="session")

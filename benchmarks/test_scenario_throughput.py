@@ -5,13 +5,13 @@ window of the study, which is the cost every other benchmark's session
 fixture pays once.
 """
 
+from repro.scenarios import ScenarioBuilder
 from repro.simulation.config import ScenarioConfig
-from repro.simulation.scenarios import build_scenario
 
 
 def run_short_window() -> int:
     config = ScenarioConfig.small(seed=3).with_overrides(end_block=9_780_000)
-    result = build_scenario(config).run()
+    result = ScenarioBuilder(config).build().run()
     return len(result.chain.blocks)
 
 

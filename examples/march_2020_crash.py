@@ -11,15 +11,21 @@ its auction bid duration.
 
 from __future__ import annotations
 
+from repro import scenarios
 from repro.analytics import auction_report, extract_liquidations, monthly_profit_by_platform, usd
-from repro.simulation import ScenarioConfig, run_scenario
 
 
 def main() -> None:
-    config = ScenarioConfig.small(seed=13)
-    crash_block = config.incidents.march_2020_block
+    # The registered "march-2020-only" scenario declares the crash (and its
+    # congestion) as a single PriceCrash incident on the three-month window;
+    # composing MakerDAO's historical parameter change back in is one line.
+    builder = scenarios.get("march-2020-only").builder(seed=13)
+    crash_block = builder.incidents[0].block
+    builder.add_incidents(
+        scenarios.AuctionReconfig(name="makerdao-auction-reconfiguration", block=crash_block + 85_000)
+    )
     print(f"Simulating a window containing the crash at block {crash_block:,} …")
-    result = run_scenario(config)
+    result = builder.run()
 
     # ETH price around the crash, from the market feed.
     feed = result.engine.feed

@@ -1,0 +1,11 @@
+"""Shim for environments whose setuptools cannot do PEP 660 editable installs.
+
+All metadata lives in ``pyproject.toml`` (setuptools >= 61 reads it from
+here too).  On toolchains missing the ``wheel`` package, use::
+
+    pip install -e . --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

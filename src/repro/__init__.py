@@ -9,20 +9,27 @@ The package is organised in layers:
   :mod:`repro.amm`, :mod:`repro.flashloan`: the Ethereum-like environment the
   paper measures, rebuilt as a deterministic simulator.
 * :mod:`repro.protocols` — Aave V1/V2, Compound, dYdX and MakerDAO.
-* :mod:`repro.agents` and :mod:`repro.simulation` — the agent-based scenario
-  generator producing the two-year study window.
+* :mod:`repro.agents` and :mod:`repro.simulation` — the agent population and
+  the block-stride engine.
+* :mod:`repro.scenarios` — the composable scenario API: the fluent
+  :class:`~repro.scenarios.ScenarioBuilder`, first-class incidents, and the
+  named scenario registry behind the ``python -m repro`` CLI.
 * :mod:`repro.analytics` — the measurement pipeline (the paper's "custom
   client").
 * :mod:`repro.experiments` — one harness per table and figure of the paper.
 
 Quickstart::
 
-    from repro.simulation import ScenarioConfig, run_scenario
+    from repro import scenarios
     from repro.analytics import extract_liquidations, profit_report
 
-    result = run_scenario(ScenarioConfig.small())
+    result = scenarios.get("small").run(seed=7)
     records = extract_liquidations(result)
     print(profit_report(records))
+
+or, without writing any code::
+
+    python -m repro run --scenario march-2020-only --report table1
 """
 
 __version__ = "1.0.0"

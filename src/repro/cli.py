@@ -1,0 +1,134 @@
+"""The ``repro`` command line interface.
+
+Wires the named scenario registry to the experiment runner::
+
+    python -m repro list                       # scenario table
+    python -m repro reports                    # report ids
+    python -m repro run --scenario march-2020-only --seed 7 --report table1
+    python -m repro run --scenario paper-medium --report all --output report.txt
+
+``run`` builds the scenario through :class:`~repro.scenarios.ScenarioBuilder`,
+simulates it, and renders the requested table/figure reports to stdout (or
+``--output``).  Progress lines go to stderr so the report itself stays
+pipeable.  Installed via ``pip install -e .`` the same interface is available
+as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from . import scenarios
+from .analytics.records import extract_liquidations
+from .experiments.runner import EXPERIMENT_IDS, EXPERIMENTS, render_all, run_all, run_one
+
+
+def _status(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Empirical Study of DeFi Liquidations' (IMC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_parser = sub.add_parser("run", help="simulate a named scenario and render reports")
+    run_parser.add_argument("--scenario", default="small", help="registered scenario name (see `repro list`)")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
+    run_parser.add_argument(
+        "--report",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="report id (repeatable) or 'all'; default: table1",
+    )
+    run_parser.add_argument("--end-block", type=int, default=None, help="truncate the simulated window")
+    run_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
+    run_parser.add_argument("--output", default=None, metavar="FILE", help="write the report to FILE instead of stdout")
+
+    sub.add_parser("list", help="list registered scenarios")
+    sub.add_parser("reports", help="list report ids accepted by `run --report`")
+    return parser
+
+
+def _cmd_list() -> int:
+    definitions = scenarios.all_scenarios()
+    width = max((len(name) for name in definitions), default=0)
+    for name in sorted(definitions):
+        definition = definitions[name]
+        tags = f"  [{', '.join(definition.tags)}]" if definition.tags else ""
+        print(f"{name.ljust(width)}  {definition.description}{tags}")
+    return 0
+
+
+def _cmd_reports() -> int:
+    width = max(len(experiment_id) for experiment_id in EXPERIMENT_IDS)
+    print(f"{'all'.ljust(width)}  every report below, in paper order")
+    for experiment_id in EXPERIMENT_IDS:
+        print(f"{experiment_id.ljust(width)}  {EXPERIMENTS[experiment_id].title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        definition = scenarios.get(args.scenario)
+    except scenarios.UnknownScenarioError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    report_ids = args.report or ["table1"]
+    run_everything = "all" in report_ids
+    unknown = [report_id for report_id in report_ids if report_id != "all" and report_id not in EXPERIMENTS]
+    if unknown:
+        _status(f"error: unknown report id(s) {', '.join(unknown)}; known: all, {', '.join(EXPERIMENT_IDS)}")
+        return 2
+
+    builder = definition.builder(args.seed)
+    if args.end_block is not None or args.blocks_per_step is not None:
+        builder.with_window(end_block=args.end_block, blocks_per_step=args.blocks_per_step)
+    config = builder.config
+    _status(
+        f"scenario {definition.name!r} (seed {config.seed}): "
+        f"blocks {config.start_block:,} – {config.end_block:,}, {config.n_steps:,} steps"
+    )
+    started = time.perf_counter()
+    result = builder.run()
+    _status(f"simulated in {time.perf_counter() - started:.1f}s; rendering {', '.join(report_ids)}")
+
+    if run_everything:
+        text = render_all(run_all(result))
+    else:
+        records = extract_liquidations(result)
+        sections = [run_one(result, report_id, records).report for report_id in report_ids]
+        text = "\n\n".join(sections) + "\n"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        _status(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "reports":
+        return _cmd_reports()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

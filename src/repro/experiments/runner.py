@@ -1,8 +1,11 @@
 """Run every experiment against one simulation result.
 
-``run_all`` executes each table/figure harness and returns the computed data
-keyed by experiment id; ``render_all`` produces the full text report.  The
-``__main__`` hook runs the small scenario so that
+Experiments are registered in the :data:`EXPERIMENTS` spec table with a
+normalised ``compute(result, records)`` signature, so single experiments can
+be executed on demand (:func:`run_one` — this is what the ``python -m repro``
+CLI's ``--report`` flag drives) as well as all together (:func:`run_all`).
+``render_all`` produces the full text report.  The ``__main__`` hook runs the
+small scenario so that
 
     python -m repro.experiments.runner
 
@@ -14,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..analytics.records import extract_liquidations
+from ..analytics.records import LiquidationRecord, extract_liquidations
 from ..simulation.config import ScenarioConfig
 from ..simulation.engine import SimulationResult
 from ..simulation.scenarios import run_scenario
@@ -49,56 +52,163 @@ class ExperimentOutput:
     report: str
 
 
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: title plus normalised compute/render hooks."""
+
+    experiment_id: str
+    title: str
+    compute: Callable[[SimulationResult, list[LiquidationRecord]], Any]
+    render: Callable[[Any], str]
+
+
+#: Experiment specs in the order they appear in the paper.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig4",
+            "Figure 4 — accumulative liquidated collateral",
+            lambda result, records: fig4_accumulative.compute(records),
+            fig4_accumulative.render,
+        ),
+        ExperimentSpec(
+            "table1",
+            "Table 1 — liquidation overview",
+            lambda result, records: table1_overview.compute(records),
+            table1_overview.render,
+        ),
+        ExperimentSpec(
+            "fig5",
+            "Figure 5 — monthly liquidation profit",
+            lambda result, records: fig5_monthly_profit.compute(records),
+            fig5_monthly_profit.render,
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Figure 6 — liquidation gas prices",
+            lambda result, records: fig6_gas_prices.compute(result),
+            fig6_gas_prices.render,
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Figure 7 — MakerDAO auctions",
+            lambda result, records: fig7_auctions.compute(result),
+            fig7_auctions.render,
+        ),
+        ExperimentSpec(
+            "table2",
+            "Table 2 — bad debts",
+            lambda result, records: table2_bad_debt.compute(result),
+            table2_bad_debt.render,
+        ),
+        ExperimentSpec(
+            "table3",
+            "Table 3 — unprofitable liquidations",
+            lambda result, records: table3_unprofitable.compute(result),
+            table3_unprofitable.render,
+        ),
+        ExperimentSpec(
+            "table4",
+            "Table 4 — flash loan usage",
+            lambda result, records: table4_flash_loans.compute(result),
+            table4_flash_loans.render,
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Figure 8 — liquidation sensitivity",
+            lambda result, records: fig8_sensitivity.compute(result),
+            fig8_sensitivity.render,
+        ),
+        ExperimentSpec(
+            "stablecoin",
+            "Section 4.5.2 — stablecoin stability",
+            lambda result, records: stablecoin.compute(result),
+            stablecoin.render,
+        ),
+        ExperimentSpec(
+            "fig9",
+            "Figure 9 — profit-volume ratio",
+            lambda result, records: fig9_profit_volume.compute(result, records),
+            fig9_profit_volume.render,
+        ),
+        ExperimentSpec(
+            "case_study",
+            "Tables 5/6 — optimal strategy case study",
+            lambda result, records: case_study.compute(),
+            case_study.render,
+        ),
+        ExperimentSpec(
+            "mitigation",
+            "Section 5.2.3 — mitigation",
+            lambda result, records: mitigation.compute(),
+            mitigation.render,
+        ),
+        ExperimentSpec(
+            "table7",
+            "Table 7 — post-liquidation price movement",
+            lambda result, records: table7_price_movement.compute(result, records),
+            table7_price_movement.render,
+        ),
+        ExperimentSpec(
+            "table8",
+            "Table 8 — monthly DAI/ETH liquidations",
+            lambda result, records: table8_monthly.compute(records),
+            table8_monthly.render,
+        ),
+        ExperimentSpec(
+            "configuration",
+            "Appendix C — reasonable configurations",
+            lambda result, records: configuration_sweep.compute(),
+            configuration_sweep.render,
+        ),
+        ExperimentSpec(
+            "close_factor",
+            "Ablation — close factor",
+            lambda result, records: close_factor_ablation.compute(),
+            close_factor_ablation.render,
+        ),
+    )
+}
+
 #: Experiment ids in the order they appear in the paper.
-EXPERIMENT_IDS = (
-    "fig4",
-    "table1",
-    "fig5",
-    "fig6",
-    "fig7",
-    "table2",
-    "table3",
-    "table4",
-    "fig8",
-    "stablecoin",
-    "fig9",
-    "case_study",
-    "mitigation",
-    "table7",
-    "table8",
-    "configuration",
-    "close_factor",
-)
+EXPERIMENT_IDS = tuple(EXPERIMENTS)
+
+
+def run_one(
+    result: SimulationResult,
+    experiment_id: str,
+    records: list[LiquidationRecord] | None = None,
+) -> ExperimentOutput:
+    """Execute a single experiment harness against ``result``.
+
+    ``records`` (the normalised liquidation records) may be passed in to
+    avoid re-extracting them per experiment.
+    """
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENT_IDS)}"
+        ) from None
+    if records is None:
+        records = extract_liquidations(result)
+    data = spec.compute(result, records)
+    return ExperimentOutput(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        data=data,
+        report=spec.render(data),
+    )
 
 
 def run_all(result: SimulationResult) -> dict[str, ExperimentOutput]:
     """Execute every experiment harness against ``result``."""
     records = extract_liquidations(result)
-    outputs: dict[str, ExperimentOutput] = {}
-
-    def add(experiment_id: str, title: str, data: Any, renderer: Callable[[Any], str]) -> None:
-        outputs[experiment_id] = ExperimentOutput(
-            experiment_id=experiment_id, title=title, data=data, report=renderer(data)
-        )
-
-    add("fig4", "Figure 4 — accumulative liquidated collateral", fig4_accumulative.compute(records), fig4_accumulative.render)
-    add("table1", "Table 1 — liquidation overview", table1_overview.compute(records), table1_overview.render)
-    add("fig5", "Figure 5 — monthly liquidation profit", fig5_monthly_profit.compute(records), fig5_monthly_profit.render)
-    add("fig6", "Figure 6 — liquidation gas prices", fig6_gas_prices.compute(result), fig6_gas_prices.render)
-    add("fig7", "Figure 7 — MakerDAO auctions", fig7_auctions.compute(result), fig7_auctions.render)
-    add("table2", "Table 2 — bad debts", table2_bad_debt.compute(result), table2_bad_debt.render)
-    add("table3", "Table 3 — unprofitable liquidations", table3_unprofitable.compute(result), table3_unprofitable.render)
-    add("table4", "Table 4 — flash loan usage", table4_flash_loans.compute(result), table4_flash_loans.render)
-    add("fig8", "Figure 8 — liquidation sensitivity", fig8_sensitivity.compute(result), fig8_sensitivity.render)
-    add("stablecoin", "Section 4.5.2 — stablecoin stability", stablecoin.compute(result), stablecoin.render)
-    add("fig9", "Figure 9 — profit-volume ratio", fig9_profit_volume.compute(result, records), fig9_profit_volume.render)
-    add("case_study", "Tables 5/6 — optimal strategy case study", case_study.compute(), case_study.render)
-    add("mitigation", "Section 5.2.3 — mitigation", mitigation.compute(), mitigation.render)
-    add("table7", "Table 7 — post-liquidation price movement", table7_price_movement.compute(result, records), table7_price_movement.render)
-    add("table8", "Table 8 — monthly DAI/ETH liquidations", table8_monthly.compute(records), table8_monthly.render)
-    add("configuration", "Appendix C — reasonable configurations", configuration_sweep.compute(), configuration_sweep.render)
-    add("close_factor", "Ablation — close factor", close_factor_ablation.compute(), close_factor_ablation.render)
-    return outputs
+    return {
+        experiment_id: run_one(result, experiment_id, records)
+        for experiment_id in EXPERIMENT_IDS
+    }
 
 
 def render_all(outputs: dict[str, ExperimentOutput]) -> str:

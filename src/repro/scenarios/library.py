@@ -1,0 +1,150 @@
+"""Built-in scenario library.
+
+Every scenario here is a small declarative definition — a config preset plus
+an incident list — registered by name.  ``python -m repro list`` prints this
+table; ``python -m repro run --scenario NAME`` runs one end-to-end.
+
+The stress scenarios (``stablecoin-depeg``, ``double-crash-stress``,
+``oracle-attack``, ``no-incidents-bull``) run on the fast three-month window
+so they stay tractable for exploration; the ``paper-*`` scenarios cover the
+full April 2019 – April 2021 study window.
+"""
+
+from __future__ import annotations
+
+from ..simulation.config import ScenarioConfig
+from .builder import ScenarioBuilder
+from .incidents import AuctionReconfig, CongestionEpisode, OracleOverride, PriceCrash
+from .registry import register_scenario
+
+
+def _seed(seed: int | None) -> int:
+    return 7 if seed is None else seed
+
+
+@register_scenario(
+    "small",
+    description="Three-month window around the March 2020 crash (test/demo scale)",
+    tags=("preset", "fast"),
+)
+def small(seed: int | None = None) -> ScenarioBuilder:
+    return ScenarioBuilder(ScenarioConfig.small(_seed(seed)))
+
+
+@register_scenario(
+    "paper-medium",
+    description="Full two-year study window with a reduced agent population",
+    tags=("preset", "paper"),
+)
+def paper_medium(seed: int | None = None) -> ScenarioBuilder:
+    return ScenarioBuilder(ScenarioConfig.medium(_seed(seed)))
+
+
+@register_scenario(
+    "paper-full",
+    description="The paper's full April 2019 – April 2021 window at full population",
+    tags=("preset", "paper"),
+)
+def paper_full(seed: int | None = None) -> ScenarioBuilder:
+    return ScenarioBuilder(ScenarioConfig.paper(_seed(seed)))
+
+
+@register_scenario(
+    "march-2020-only",
+    description="Only the 13 March 2020 crash-plus-congestion, nothing else",
+    tags=("incident", "fast"),
+)
+def march_2020_only(seed: int | None = None) -> ScenarioBuilder:
+    config = ScenarioConfig.small(_seed(seed))
+    incidents = config.incidents
+    return ScenarioBuilder(config).with_incidents(
+        PriceCrash(
+            name="march-2020-crash",
+            block=incidents.march_2020_block,
+            drop=incidents.march_2020_eth_drop,
+            recovery=0.65,
+            congestion_blocks=incidents.march_2020_congestion_blocks,
+        )
+    )
+
+
+@register_scenario(
+    "no-incidents-bull",
+    description="A calm bull market: no crashes, no congestion, boosted drift",
+    tags=("counterfactual", "fast"),
+)
+def no_incidents_bull(seed: int | None = None) -> ScenarioBuilder:
+    builder = ScenarioBuilder(ScenarioConfig.small(_seed(seed))).without_incidents()
+    calm = {
+        symbol: (drift + 0.5, volatility * 0.8)
+        for symbol, (drift, volatility) in builder.asset_dynamics.items()
+    }
+    return builder.with_assets(calm)
+
+
+@register_scenario(
+    "double-crash-stress",
+    description="Two deep crashes six weeks apart, congestion both times",
+    tags=("stress", "fast"),
+)
+def double_crash_stress(seed: int | None = None) -> ScenarioBuilder:
+    config = ScenarioConfig.small(_seed(seed))
+    first_block = config.incidents.march_2020_block
+    second_block = first_block + 220_000  # ≈ 6 weeks later
+    return ScenarioBuilder(config).with_incidents(
+        PriceCrash(name="first-crash", block=first_block, drop=0.43, recovery=0.55, congestion_blocks=14_000),
+        AuctionReconfig(name="makerdao-auction-reconfiguration", block=first_block + 85_000),
+        PriceCrash(name="second-crash", block=second_block, drop=0.35, recovery=0.4, congestion_blocks=10_000),
+    )
+
+
+@register_scenario(
+    "stablecoin-depeg",
+    description="USDT loses its peg while DAI trades at a premium",
+    tags=("stress", "stablecoin", "fast"),
+)
+def stablecoin_depeg(seed: int | None = None) -> ScenarioBuilder:
+    config = ScenarioConfig.small(_seed(seed))
+    depeg_block = config.start_block + 250_000
+    return ScenarioBuilder(config).with_incidents(
+        PriceCrash(
+            name="usdt-depeg",
+            block=depeg_block,
+            drop=0.12,
+            duration_steps=3,
+            recovery=0.95,
+            recovery_steps=60,
+            symbols=("USDT",),
+        ),
+        PriceCrash(
+            name="dai-premium",
+            block=depeg_block,
+            drop=-0.08,  # negative drop ⇒ a price spike above the peg
+            duration_steps=3,
+            recovery=0.9,
+            recovery_steps=80,
+            symbols=("DAI",),
+        ),
+        CongestionEpisode(name="depeg-panic-congestion", block=depeg_block, congestion_blocks=8_000),
+    )
+
+
+@register_scenario(
+    "oracle-attack",
+    description="The shared price oracle is manipulated to report ETH 35 % low",
+    tags=("attack", "fast"),
+)
+def oracle_attack(seed: int | None = None) -> ScenarioBuilder:
+    config = ScenarioConfig.small(_seed(seed))
+    attack_block = config.start_block + 200_000
+    return ScenarioBuilder(config).with_incidents(
+        OracleOverride(
+            name="eth-oracle-attack",
+            block=attack_block,
+            symbol="ETH",
+            price=0.65,
+            relative=True,
+            duration_blocks=5_000,
+            oracle="chainlink",
+        )
+    )

@@ -1,0 +1,108 @@
+"""The named scenario registry.
+
+Scenarios are registered by name with :func:`register_scenario` and looked
+up with :func:`get`; each definition is a factory ``seed -> ScenarioBuilder``
+so callers can re-seed a scenario without re-declaring it::
+
+    @register_scenario("flash-crash", description="one brutal crash")
+    def _flash_crash(seed=None):
+        return ScenarioBuilder(ScenarioConfig.small(seed or 7)).with_incidents(
+            PriceCrash(name="flash-crash", block=9_900_000, drop=0.5)
+        )
+
+    engine = scenarios.get("flash-crash").build(seed=3)
+
+The ``python -m repro`` CLI drives the registry directly; the built-in
+library (:mod:`repro.scenarios.library`) registers the paper presets plus a
+set of stress scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..simulation.engine import SimulationEngine, SimulationResult
+from .builder import ScenarioBuilder
+
+#: Factory signature: an optional seed to a ready-to-customise builder.
+ScenarioFactory = Callable[[int | None], ScenarioBuilder]
+
+
+class UnknownScenarioError(KeyError):
+    """Raised when a scenario name is not in the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(f"unknown scenario {name!r}; known scenarios: {', '.join(known) or '(none)'}")
+        self.name = name
+        self.known = known
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A named, documented scenario factory."""
+
+    name: str
+    description: str
+    factory: ScenarioFactory
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def builder(self, seed: int | None = None) -> ScenarioBuilder:
+        """Instantiate the scenario's builder (customise before building)."""
+        return self.factory(seed)
+
+    def build(self, seed: int | None = None) -> SimulationEngine:
+        """Build a ready-to-run engine for this scenario."""
+        return self.builder(seed).build()
+
+    def run(self, seed: int | None = None) -> SimulationResult:
+        """Build and run this scenario end-to-end."""
+        return self.builder(seed).run()
+
+
+_REGISTRY: dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    description: str = "",
+    tags: tuple[str, ...] = (),
+) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Decorator registering ``factory`` under ``name``.
+
+    The factory keeps working as a plain function; registering the same name
+    twice is an error (use :func:`unregister` first to replace one).
+    """
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        summary = description or (factory.__doc__ or "").strip().split("\n")[0]
+        _REGISTRY[name] = ScenarioDefinition(name=name, description=summary, factory=factory, tags=tuple(tags))
+        return factory
+
+    return decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioDefinition:
+    """Look up a scenario by name, raising :class:`UnknownScenarioError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, names()) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_scenarios() -> dict[str, ScenarioDefinition]:
+    """A snapshot of the full registry."""
+    return dict(_REGISTRY)

@@ -1,4 +1,10 @@
-"""Scenario simulation: engine, configuration, calibrated study-window scenario."""
+"""Scenario simulation: engine, configuration, calibrated study-window scenario.
+
+The scenario construction helpers (``build_scenario``, ``run_scenario``,
+``build_price_feed``) are resolved lazily: they are thin shims over the
+composable :mod:`repro.scenarios` package, and loading them eagerly here
+would create an import cycle with it.
+"""
 
 from .config import (
     FEBRUARY_2021_CRASH_BLOCK,
@@ -13,7 +19,9 @@ from .config import (
 )
 from .engine import LiquidationOpportunity, ScheduledEvent, SimulationEngine, SimulationResult
 from .market import MarketError, MarketMaker
-from .scenarios import build_price_feed, build_scenario, run_scenario
+
+#: Names re-exported from the (lazily imported) scenario shim module.
+_SCENARIO_EXPORTS = frozenset({"build_price_feed", "build_scenario", "run_scenario"})
 
 __all__ = [
     "FEBRUARY_2021_CRASH_BLOCK",
@@ -35,3 +43,16 @@ __all__ = [
     "build_scenario",
     "run_scenario",
 ]
+
+
+def __getattr__(name: str):
+    if name == "scenarios" or name in _SCENARIO_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(".scenarios", __name__)
+        return module if name == "scenarios" else getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _SCENARIO_EXPORTS | {"scenarios"})

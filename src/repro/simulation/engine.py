@@ -137,6 +137,7 @@ class SimulationEngine:
         self._traffic_address = make_address("background-traffic")
         self._fixed_spread_cache: list[LiquidationOpportunity] | None = None
         self._makerdao_cache: list[Address] | None = None
+        self._protocols_by_name: dict[str, LendingProtocol] = {}
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -154,11 +155,26 @@ class SimulationEngine:
         self.scheduled_events.append(ScheduledEvent(block=block, name=name, action=action))
 
     def protocol(self, name: str) -> LendingProtocol:
-        """Look up a protocol by name."""
-        for protocol in self.protocols:
-            if protocol.name == name:
-                return protocol
-        raise KeyError(f"no protocol named {name!r}")
+        """Look up a protocol by name (O(1) on cache hits).
+
+        The name-keyed cache rebuilds on a miss or when the list length
+        changes, so appends and removals are picked up automatically.  The
+        one mutation it cannot detect is replacing a list element in place
+        with a different object of the same name — call
+        :meth:`invalidate_protocol_cache` after doing that.
+        """
+        cache = self._protocols_by_name
+        if len(cache) != len(self.protocols) or name not in cache:
+            cache = self._protocols_by_name = {protocol.name: protocol for protocol in self.protocols}
+        try:
+            return cache[name]
+        except KeyError:
+            raise KeyError(f"no protocol named {name!r}") from None
+
+    def invalidate_protocol_cache(self) -> None:
+        """Drop the name-keyed protocol cache (needed only after replacing
+        an element of ``self.protocols`` in place)."""
+        self._protocols_by_name = {}
 
     @property
     def makerdao(self) -> MakerDAOProtocol | None:
@@ -274,10 +290,25 @@ class SimulationEngine:
     # Step phases
     # ------------------------------------------------------------------ #
     def _fire_scheduled_events(self) -> None:
-        for event in self.scheduled_events:
-            if not event.fired and self.chain.current_block >= event.block:
-                event.action(self)
+        # Fire in block order over a snapshot, then re-scan: an action may
+        # legitimately schedule further events (possibly already due, or due
+        # at a block before ``start_block``), so the list can grow while
+        # firing.  Marking ``fired`` before calling the action keeps a
+        # re-entrant scan from firing the same event twice.
+        while True:
+            due = [
+                event
+                for event in self.scheduled_events
+                if not event.fired and self.chain.current_block >= event.block
+            ]
+            if not due:
+                return
+            due.sort(key=lambda event: event.block)
+            for event in due:
+                if event.fired:
+                    continue
                 event.fired = True
+                event.action(self)
 
     def _update_oracles(self) -> None:
         self.oracle.update_from_feed()
@@ -314,8 +345,11 @@ class SimulationEngine:
         n_chunks = 40
         gas_each = max(int(stride_budget * fill / n_chunks), 21_000)
         base = market.base_gas_price_wei
-        for _ in range(n_chunks):
-            gas_price = max(int(base * float(self.rng.lognormal(0.0, 0.35))), 1)
+        # One vectorized draw per step; the stream is identical to the former
+        # per-chunk scalar draws, so seeded runs are unchanged.
+        multipliers = self.rng.lognormal(0.0, 0.35, size=n_chunks)
+        for multiplier in multipliers:
+            gas_price = max(int(base * float(multiplier)), 1)
             self.chain.submit_call(
                 sender=self._traffic_address,
                 action=None,

@@ -1,441 +1,50 @@
-"""Scenario construction: the calibrated two-year study window.
+"""Legacy scenario entry points (thin shims over :mod:`repro.scenarios`).
 
-:func:`build_scenario` assembles the full simulated world of the paper's
-measurement window (April 2019 – April 2021): the chain, the asset universe
-and its synthetic price history, the Chainlink-style oracle plus Compound's
-own oracle, the four lending protocols, flash-loan pools, AMM pools, the OTC
-market maker, and the agent population.  The three incidents the paper's
-results revolve around are scheduled at their (approximate) historical block
-heights:
+The calibrated study-window scenario now lives in the composable
+:mod:`repro.scenarios` package — :class:`~repro.scenarios.ScenarioBuilder`
+plus first-class incidents and a named scenario registry.  This module keeps
+the original entry points working unchanged:
 
-* **13 March 2020** — ETH drops 43 % in a step and the network congests;
-  keeper bots price their bids off stale gas estimates and are crowded out,
-  so auctions settle at deep discounts (Figure 5's MakerDAO outlier) and
-  MakerDAO subsequently lengthens its bid duration (Figure 7).
-* **November 2020** — Compound's oracle reports an irregular DAI price,
-  liquidating a wave of otherwise healthy DAI borrowers (Figure 5's
-  Compound outlier).
-* **February 2021** — a broad, sharp drawdown with renewed congestion.
+* :func:`build_scenario` / :func:`run_scenario` — build/run the default
+  world for a :class:`ScenarioConfig`;
+* :func:`build_price_feed` — the synthetic price history on its own;
+* ``ASSET_DYNAMICS`` and the MakerDAO auction parameter helpers.
+
+New code should use the builder and registry directly::
+
+    from repro import scenarios
+    result = scenarios.ScenarioBuilder(config).build().run()
+    result = scenarios.get("march-2020-only").run(seed=7)
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..agents.arbitrageur import ArbitrageurAgent
-from ..agents.base import spawn_rngs
-from ..agents.borrower import BorrowerAgent, BorrowerProfile
-from ..agents.keeper import AuctionKeeperAgent, KeeperProfile
-from ..agents.lender import LenderAgent
-from ..agents.liquidator import LiquidatorAgent, LiquidatorProfile
-from ..amm.pool import ConstantProductPool
-from ..amm.router import AmmRouter
-from ..chain.chain import Blockchain, ChainConfig
-from ..chain.gas import GasMarket, GasMarketConfig
-from ..chain.types import make_address
-from ..core.auction import AuctionConfig
-from ..flashloan.pool import FlashLoanPool, FlashLoanProvider
-from ..oracle.chainlink import OracleConfig, PriceOracle
+from ..scenarios.builder import ASSET_DYNAMICS, ScenarioBuilder
+from ..scenarios.incidents import post_incident_auction_config, pre_incident_auction_config
 from ..oracle.feed import PriceFeed
-from ..oracle.paths import AssetPathConfig, Shock, build_series
-from ..protocols.aave import make_aave_v1, make_aave_v2
-from ..protocols.base import LendingProtocol
-from ..protocols.compound import make_compound
-from ..protocols.dydx import make_dydx
-from ..protocols.makerdao import make_makerdao
-from ..tokens.registry import default_registry, inception_prices
 from .config import ScenarioConfig
 from .engine import SimulationEngine, SimulationResult
-from .market import MarketMaker
 
-#: Annualised (drift, volatility) of the non-stable assets in the default
-#: scenario, loosely calibrated to the 2019-2021 bull market punctuated by
-#: crashes.
-ASSET_DYNAMICS: dict[str, tuple[float, float]] = {
-    "ETH": (1.15, 0.85),
-    "WBTC": (0.95, 0.75),
-    "LINK": (1.3, 1.1),
-    "UNI": (1.1, 1.2),
-    "COMP": (0.6, 1.1),
-    "MKR": (0.8, 1.0),
-    "AAVE": (1.2, 1.2),
-    "YFI": (0.9, 1.3),
-    "SNX": (1.0, 1.2),
-    "KNC": (0.7, 1.1),
-    "MANA": (1.2, 1.3),
-    "REP": (0.2, 1.0),
-    "ENJ": (1.1, 1.3),
-    "REN": (0.9, 1.3),
-    "CRV": (0.4, 1.3),
-    "BAL": (0.5, 1.2),
-    "BAT": (0.5, 1.0),
-    "ZRX": (0.5, 1.0),
-    "TUSD": (0.0, 0.0),
-}
-
-
-def _feed_step_for_block(config: ScenarioConfig, block: int) -> int:
-    """Map a block height onto the price feed's (finer) step grid."""
-    return max((block - config.start_block) // config.feed_blocks_per_step, 0)
-
-
-def _engine_step_for_block(config: ScenarioConfig, block: int) -> int:
-    """Map a block height onto the engine's (coarser) step grid."""
-    return max((block - config.start_block) // config.blocks_per_step, 0)
+__all__ = [
+    "ASSET_DYNAMICS",
+    "build_price_feed",
+    "build_scenario",
+    "post_incident_auction_config",
+    "pre_incident_auction_config",
+    "run_scenario",
+]
 
 
 def build_price_feed(config: ScenarioConfig) -> PriceFeed:
-    """Generate the synthetic market price history for the scenario window.
-
-    The feed is generated on a finer block grid than the engine stride
-    (``feed_blocks_per_step``) so that block-level measurements — the
-    post-liquidation price windows of Appendix A, the stablecoin differences
-    of Section 4.5.2 — have sub-stride resolution.
-    """
-    n_steps = (config.end_block - config.start_block) // config.feed_blocks_per_step + 3
-    steps_per_year = max(int(365 * 24 * 3600 / (13 * config.feed_blocks_per_step)), 1)
-    incidents = config.incidents
-    march_step = _feed_step_for_block(config, incidents.march_2020_block)
-    feb_step = _feed_step_for_block(config, incidents.february_2021_block)
-    crash_shocks = {
-        "march": Shock(
-            step=march_step,
-            magnitude=1.0 - incidents.march_2020_eth_drop,
-            duration=1,
-            recovery=0.65,
-            recovery_steps=max(n_steps // 25, 5),
-        ),
-        "february": Shock(
-            step=feb_step,
-            magnitude=1.0 - incidents.february_2021_drop,
-            duration=2,
-            recovery=0.5,
-            recovery_steps=max(n_steps // 40, 5),
-        ),
-    }
-    prices = inception_prices()
-    configs: dict[str, AssetPathConfig] = {}
-    for symbol, (drift, volatility) in ASSET_DYNAMICS.items():
-        shocks = []
-        if march_step < n_steps:
-            shocks.append(crash_shocks["march"])
-        if feb_step < n_steps:
-            shocks.append(crash_shocks["february"])
-        configs[symbol] = AssetPathConfig(
-            initial_price=prices.get(symbol, 1.0),
-            annual_drift=drift,
-            annual_volatility=volatility,
-            shocks=shocks,
-        )
-    for symbol in ("DAI", "USDC", "USDT", "TUSD"):
-        configs[symbol] = AssetPathConfig(
-            initial_price=1.0,
-            is_stablecoin=True,
-            peg_volatility=0.0015,
-            peg_reversion=0.08,
-        )
-    series = build_series(configs, n_steps, seed=config.seed, steps_per_year=steps_per_year)
-    return PriceFeed(start_block=config.start_block, blocks_per_step=config.feed_blocks_per_step, series=series)
-
-
-def pre_incident_auction_config(blocks_per_step: int) -> AuctionConfig:
-    """MakerDAO's pre-March-2020 auction parameters, scaled to the stride.
-
-    The paper-era values (6-hour auction length, ≈ 10-minute bid duration)
-    are kept whenever the stride can resolve them; coarser strides stretch
-    them so that auctions still span multiple simulation steps.
-    """
-    return AuctionConfig(
-        auction_length_blocks=max(1_660, 3 * blocks_per_step),
-        bid_duration_blocks=max(140, int(0.9 * blocks_per_step)),
-    )
-
-
-def post_incident_auction_config(blocks_per_step: int) -> AuctionConfig:
-    """MakerDAO's post-March-2020 auction parameters (longer bid duration)."""
-    return AuctionConfig(
-        auction_length_blocks=max(1_660, 5 * blocks_per_step),
-        bid_duration_blocks=max(1_660, 2 * blocks_per_step),
-    )
-
-
-def _build_protocols(
-    chain: Blockchain,
-    oracle: PriceOracle,
-    compound_oracle: PriceOracle,
-    registry,
-    config: ScenarioConfig,
-) -> list[LendingProtocol]:
-    """Instantiate the four studied protocols with their paper parameters."""
-    aave_v1 = make_aave_v1(chain, oracle, registry)
-    aave_v2 = make_aave_v2(chain, oracle, registry)
-    compound = make_compound(chain, compound_oracle, registry)
-    dydx = make_dydx(chain, oracle, registry)
-    makerdao = make_makerdao(chain, oracle, registry)
-    makerdao.reconfigure_auctions(pre_incident_auction_config(config.blocks_per_step))
-    return [aave_v1, aave_v2, compound, dydx, makerdao]
-
-
-def _build_flash_loans(chain: Blockchain, registry) -> FlashLoanProvider:
-    """Flash-loan pools on Aave V1/V2 and dYdX (Table 4's venues)."""
-    provider = FlashLoanProvider()
-    funder = make_address("flash-loan-lp")
-    pools = [
-        ("dYdX", "DAI", 0.0, 400_000_000.0),
-        ("dYdX", "USDC", 0.0, 400_000_000.0),
-        ("dYdX", "ETH", 0.0, 800_000.0),
-        ("Aave V1", "DAI", 0.0009, 120_000_000.0),
-        ("Aave V1", "USDC", 0.0009, 120_000_000.0),
-        ("Aave V2", "DAI", 0.0009, 200_000_000.0),
-        ("Aave V2", "USDC", 0.0009, 200_000_000.0),
-        ("Aave V2", "ETH", 0.0009, 300_000.0),
-    ]
-    for platform, symbol, fee, amount in pools:
-        token = registry.ensure(symbol)
-        pool = FlashLoanPool(platform=platform, token=token, fee_rate=fee, chain=chain)
-        token.mint(funder, amount)
-        pool.fund(funder, amount)
-        provider.register(pool)
-    return provider
-
-
-def _build_amm(chain: Blockchain, registry, feed: PriceFeed, start_block: int) -> AmmRouter:
-    """Constant-product pools for the main collateral/debt pairs."""
-    router = AmmRouter()
-    lp = make_address("amm-lp")
-    pairs = [("ETH", "DAI", 60_000_000.0), ("ETH", "USDC", 60_000_000.0), ("WBTC", "DAI", 30_000_000.0)]
-    for symbol_a, symbol_b, usd_depth in pairs:
-        token_a = registry.ensure(symbol_a)
-        token_b = registry.ensure(symbol_b)
-        price_a = feed.price(symbol_a, start_block)
-        price_b = feed.price(symbol_b, start_block)
-        amount_a = usd_depth / 2.0 / price_a
-        amount_b = usd_depth / 2.0 / price_b
-        token_a.mint(lp, amount_a)
-        token_b.mint(lp, amount_b)
-        pool = ConstantProductPool(token_a=token_a, token_b=token_b, chain=chain)
-        pool.add_liquidity(lp, amount_a, amount_b)
-        router.register(pool)
-    return router
-
-
-def _borrower_profiles(
-    config: ScenarioConfig,
-    protocol: LendingProtocol,
-    rng: np.random.Generator,
-) -> list[BorrowerProfile]:
-    """Sample the borrower population for one protocol."""
-    population = config.population
-    profiles: list[BorrowerProfile] = []
-    is_aave_v2 = protocol.name == "Aave V2"
-    is_makerdao = protocol.name == "MakerDAO"
-    is_dydx = protocol.name == "dYdX"
-    multi_fraction = (
-        population.multi_collateral_fraction_aave_v2 if is_aave_v2 else population.multi_collateral_fraction_other
-    )
-    collateral_universe = [
-        symbol
-        for symbol, market in protocol.markets.items()
-        if market.collateral_enabled and symbol not in ("DAI", "USDC", "USDT", "TUSD")
-    ]
-    stable_universe = [
-        symbol for symbol, market in protocol.markets.items() if market.collateral_enabled and symbol in ("USDC", "USDT", "TUSD")
-    ]
-    total_steps = config.n_steps
-    inception_step = _engine_step_for_block(config, protocol.inception_block)
-
-    def entry_step() -> int:
-        span = max(total_steps - inception_step - 2, 1)
-        return inception_step + int(rng.beta(1.2, 1.6) * span)
-
-    for index in range(population.borrowers_per_platform):
-        short_position = rng.random() < population.short_borrower_fraction and stable_universe and not is_makerdao
-        attentive = rng.random() > population.inattentive_fraction
-        size = float(rng.lognormal(np.log(60_000), 1.4))
-        if short_position:
-            collateral = (str(rng.choice(stable_universe)),)
-            debt_symbol = "ETH"
-        else:
-            main = "ETH" if rng.random() < 0.6 or not collateral_universe else str(rng.choice(collateral_universe))
-            if rng.random() < multi_fraction and len(collateral_universe) >= 2:
-                extras = [str(symbol) for symbol in rng.choice(collateral_universe, size=2, replace=False)]
-                collateral = tuple(dict.fromkeys([main, *extras]))
-            else:
-                collateral = (main,)
-            if is_makerdao:
-                debt_symbol = "DAI"
-            elif is_dydx:
-                debt_symbol = str(rng.choice(["DAI", "USDC"]))
-            else:
-                debt_symbol = str(rng.choice(["DAI", "USDC", "USDT"])) if "USDT" in protocol.markets else str(
-                    rng.choice(["DAI", "USDC"])
-                )
-        profiles.append(
-            BorrowerProfile(
-                collateral_symbols=collateral,
-                debt_symbol=debt_symbol,
-                collateral_usd=size,
-                target_health_factor=float(rng.uniform(1.03, 1.6)),
-                attentive=attentive,
-                topup_trigger=float(rng.uniform(1.03, 1.12)),
-                entry_step=entry_step(),
-            )
-        )
-    for index in range(population.dust_borrowers_per_platform):
-        # Dust positions whose excess collateral cannot cover a closing fee:
-        # the source of Table 2's Type II bad debt.
-        profiles.append(
-            BorrowerProfile(
-                collateral_symbols=("ETH",) if not is_makerdao else ("ETH",),
-                debt_symbol="DAI" if is_makerdao or rng.random() < 0.5 else "USDC",
-                collateral_usd=float(rng.uniform(20.0, 600.0)),
-                target_health_factor=float(rng.uniform(1.05, 1.4)),
-                attentive=False,
-                entry_step=entry_step(),
-            )
-        )
-    return profiles
+    """Generate the synthetic market price history for the scenario window."""
+    return ScenarioBuilder(config).build_feed()
 
 
 def build_scenario(config: ScenarioConfig | None = None) -> SimulationEngine:
     """Construct a ready-to-run :class:`SimulationEngine` for ``config``."""
-    config = config or ScenarioConfig()
-    rng = np.random.default_rng(config.seed)
-    registry = default_registry()
-    feed = build_price_feed(config)
-    gas_market = GasMarket(
-        config=GasMarketConfig(initial_gwei=8.0),
-        rng=np.random.default_rng(config.seed + 11),
-    )
-    chain = Blockchain(
-        config=ChainConfig(
-            inception_block=config.start_block,
-            inception_timestamp=config.start_timestamp,
-            blocks_per_step=config.blocks_per_step,
-        ),
-        gas_market=gas_market,
-    )
-    oracle = PriceOracle(chain, feed, OracleConfig(name="chainlink"))
-    compound_oracle = PriceOracle(chain, feed, OracleConfig(name="compound-open-oracle"))
-    oracle.update_from_feed()
-    compound_oracle.update_from_feed()
-    protocols = _build_protocols(chain, oracle, compound_oracle, registry, config)
-    flash_loans = _build_flash_loans(chain, registry)
-    amm = _build_amm(chain, registry, feed, config.start_block)
-    market_maker = MarketMaker(oracle=oracle, registry=registry)
-    engine = SimulationEngine(
-        config=config,
-        chain=chain,
-        registry=registry,
-        feed=feed,
-        oracle=oracle,
-        protocols=protocols,
-        protocol_oracles={"Compound": compound_oracle, "chainlink": oracle},
-        flash_loans=flash_loans,
-        amm=amm,
-        market_maker=market_maker,
-    )
-    _schedule_incidents(engine)
-    _populate_agents(engine, rng)
-    return engine
-
-
-def _schedule_incidents(engine: SimulationEngine) -> None:
-    """Register the three incidents plus MakerDAO's auction reconfiguration."""
-    config = engine.config
-    incidents = config.incidents
-
-    def march_crash(eng: SimulationEngine) -> None:
-        steps = max(incidents.march_2020_congestion_blocks // config.blocks_per_step, 1)
-        eng.chain.gas_market.trigger_congestion(steps)
-
-    def february_crash(eng: SimulationEngine) -> None:
-        steps = max(incidents.february_2021_congestion_blocks // config.blocks_per_step, 1)
-        eng.chain.gas_market.trigger_congestion(steps)
-
-    def compound_oracle_irregularity(eng: SimulationEngine) -> None:
-        compound_oracle = eng.protocol_oracles.get("Compound")
-        if compound_oracle is not None:
-            compound_oracle.set_override("DAI", incidents.november_2020_dai_price)
-
-    def compound_oracle_recovery(eng: SimulationEngine) -> None:
-        compound_oracle = eng.protocol_oracles.get("Compound")
-        if compound_oracle is not None:
-            compound_oracle.clear_override("DAI")
-
-    def makerdao_reconfig(eng: SimulationEngine) -> None:
-        makerdao = eng.makerdao
-        if makerdao is not None:
-            makerdao.reconfigure_auctions(post_incident_auction_config(config.blocks_per_step))
-
-    engine.schedule(incidents.march_2020_block, "march-2020-crash", march_crash)
-    engine.schedule(incidents.february_2021_block, "february-2021-crash", february_crash)
-    engine.schedule(incidents.november_2020_block, "compound-dai-oracle-irregularity", compound_oracle_irregularity)
-    engine.schedule(
-        incidents.november_2020_block + incidents.november_2020_duration_blocks,
-        "compound-dai-oracle-recovery",
-        compound_oracle_recovery,
-    )
-    engine.schedule(incidents.makerdao_reconfig_block, "makerdao-auction-reconfiguration", makerdao_reconfig)
-
-
-def _populate_agents(engine: SimulationEngine, rng: np.random.Generator) -> None:
-    """Create lenders, borrowers, liquidators, keepers and the arbitrageur."""
-    config = engine.config
-    population = config.population
-    agent_rngs = iter(spawn_rngs(config.seed + 1, 50_000))
-
-    # Lenders seed pool liquidity so borrowers have something to borrow.
-    for protocol in engine.fixed_spread_protocols():
-        for index in range(population.lenders_per_platform):
-            supplies = {"DAI": 150_000_000.0, "USDC": 150_000_000.0, "ETH": 80_000_000.0}
-            supplies = {symbol: usd for symbol, usd in supplies.items() if symbol in protocol.markets}
-            engine.add_agent(
-                LenderAgent(f"lender-{protocol.name}-{index}", next(agent_rngs), protocol, supplies)
-            )
-
-    # Borrowers.
-    for protocol in engine.protocols:
-        profiles = _borrower_profiles(config, protocol, rng)
-        for index, profile in enumerate(profiles):
-            engine.add_agent(
-                BorrowerAgent(f"borrower-{protocol.name}-{index}", next(agent_rngs), protocol, profile)
-            )
-
-    # Fixed spread liquidation bots.
-    for index in range(population.liquidators):
-        profile = LiquidatorProfile(
-            detection_probability=float(rng.uniform(0.15, 0.5)),
-            gas_multiplier_mean=config.liquidator_gas_multiplier_mean * float(rng.uniform(0.8, 1.3)),
-            gas_multiplier_sigma=config.liquidator_gas_multiplier_sigma,
-            flash_loan_probability=config.liquidator_flash_loan_probability * float(rng.uniform(0.4, 2.0)),
-            min_profit_margin=float(rng.uniform(1.1, 1.8)),
-            holding_symbol="USDC" if rng.random() < 0.7 else "DAI",
-            initial_capital_usd=float(rng.lognormal(np.log(3_000_000), 1.0)),
-            offline_during_congestion=rng.random() < 0.3,
-        )
-        engine.add_agent(LiquidatorAgent(f"liquidator-{index}", next(agent_rngs), profile))
-
-    # MakerDAO auction keepers.  A small minority pays market-rate gas even
-    # during congestion and therefore keeps winning auctions at low-ball bids
-    # while the rest of the bots are priced out (the March 2020 dynamic).
-    makerdao = engine.makerdao
-    if makerdao is not None:
-        for index in range(population.keepers):
-            capable = index < max(population.keepers // 4, 1)
-            profile = KeeperProfile(
-                detection_probability=float(rng.uniform(0.3, 0.7)),
-                profit_margin=float(rng.uniform(0.03, 0.12)),
-                first_bid_fraction=float(rng.uniform(0.35, 0.7)),
-                offline_during_congestion=not capable,
-                uses_market_gas=capable,
-            )
-            engine.add_agent(AuctionKeeperAgent(f"keeper-{index}", next(agent_rngs), makerdao, profile))
-
-    engine.add_agent(ArbitrageurAgent("arbitrageur", next(agent_rngs)))
+    return ScenarioBuilder(config or ScenarioConfig()).build()
 
 
 def run_scenario(config: ScenarioConfig | None = None) -> SimulationResult:
     """Build and run a scenario end-to-end, returning the result handle."""
-    engine = build_scenario(config)
-    return engine.run()
+    return build_scenario(config).run()

@@ -20,7 +20,12 @@ from repro.tokens.registry import default_registry
 
 @pytest.fixture(scope="session")
 def small_result():
-    """A completed small-scenario simulation (three months around March 2020)."""
+    """A completed small-scenario simulation (three months around March 2020).
+
+    Deliberately built through the legacy ``build_scenario`` entry point so
+    that it doubles as the reference world for the builder-equivalence test
+    in ``test_scenarios_api.py``.
+    """
     engine = build_scenario(ScenarioConfig.small(seed=11))
     return engine.run()
 

@@ -56,6 +56,11 @@ class TestCoreProperties:
             return
         outcome = optimal_strategy(position, params)
         intermediate = liquidate_simple(position, outcome.repays_usd[0], params)
+        if intermediate.debt_usd <= 1e-9:
+            # With close_factor 1 and zero spread the optimal first move can
+            # close the position outright; an empty position has an infinite
+            # health factor by convention, so the bound is vacuous.
+            return
         assert intermediate.health_factor(params.liquidation_threshold) <= 1.0 + 1e-6
 
     @settings(max_examples=60)
