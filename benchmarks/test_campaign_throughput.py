@@ -1,0 +1,46 @@
+"""Benchmark — parallel-vs-serial throughput of a multi-seed campaign sweep.
+
+Not a paper artefact: this measures the campaign executor's fan-out, the
+layer every scaling PR builds on.  Four independent seeds of the truncated
+``small`` window are swept twice into throwaway stores — once serially, once
+over a 4-process pool — and the speedup is printed for comparison across
+machines.  The assertion is deliberately loose (pool start-up costs dominate
+on small windows and single-core CI runners can be slower in parallel); the
+benchmark's job is to report the number, not to gate on it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.campaigns import CampaignExecutor, CampaignSpec, RunStore
+
+SPEC = dict(
+    scenario="small",
+    seeds=4,
+    overrides={"end_block": 9_780_000},
+    experiments=("table1", "fig4"),
+)
+
+
+def sweep(workers: int) -> tuple[float, int]:
+    """Run the campaign into a fresh store; return (seconds, runs executed)."""
+    with tempfile.TemporaryDirectory() as root:
+        executor = CampaignExecutor(CampaignSpec(**SPEC), RunStore(root), workers=workers)
+        started = time.perf_counter()
+        result = executor.execute()
+        return time.perf_counter() - started, len(result.executed)
+
+
+def test_campaign_throughput(benchmark):
+    serial_seconds, serial_runs = sweep(workers=1)
+    parallel_seconds, parallel_runs = benchmark.pedantic(
+        sweep, kwargs={"workers": 4}, rounds=1, iterations=1
+    )
+    assert serial_runs == parallel_runs == 4
+    print(
+        f"\ncampaign sweep, 4 seeds: serial {serial_seconds:.2f}s, "
+        f"4 workers {parallel_seconds:.2f}s, "
+        f"speedup {serial_seconds / parallel_seconds:.2f}x"
+    )

@@ -1,0 +1,65 @@
+"""Campaigns: parallel multi-seed sweeps with a persistent run store.
+
+This package turns single ``repro run`` invocations into *campaigns* —
+statistically meaningful collections of runs:
+
+* :mod:`repro.campaigns.spec` — the declarative :class:`CampaignSpec`: a
+  named scenario (or a grid of builder overrides) crossed with a
+  ``SeedSequence``-derived seed range, expanding to picklable
+  :class:`RunSpec` triples;
+* :mod:`repro.campaigns.executor` — :class:`CampaignExecutor`, the
+  scenario-loop driver that fans runs out over a ``multiprocessing`` pool
+  (with a serial fallback) and resumes from the store;
+* :mod:`repro.campaigns.store` — :class:`RunStore`, the on-disk layout
+  ``runs/<campaign>/<run_id>/manifest.json`` + per-experiment JSON;
+* :mod:`repro.campaigns.aggregate` — cross-seed statistics (mean / stddev /
+  95 % CI per scalar field of every experiment) and the comparison report.
+
+Quickstart::
+
+    from repro.campaigns import CampaignExecutor, CampaignSpec, RunStore
+    from repro.campaigns import aggregate_campaign, render_comparison
+
+    spec = CampaignSpec(scenario="march-2020-only", seeds=8)
+    store = RunStore("runs")
+    CampaignExecutor(spec, store, workers=4).execute()
+    print(render_comparison(aggregate_campaign(store, spec.campaign)))
+
+or, from the shell::
+
+    repro sweep --scenario march-2020-only --seeds 8 --workers 4
+    repro compare
+"""
+
+from .aggregate import (
+    CampaignAggregate,
+    ExperimentStats,
+    FieldStats,
+    VariantAggregate,
+    aggregate_campaign,
+    render_comparison,
+    scalar_fields,
+)
+from .executor import CampaignExecutor, CampaignResult, RunJob, execute_job
+from .spec import OVERRIDE_KEYS, CampaignSpec, RunSpec, apply_overrides, spawn_seeds
+from .store import RunStore
+
+__all__ = [
+    "CampaignAggregate",
+    "CampaignExecutor",
+    "CampaignResult",
+    "CampaignSpec",
+    "ExperimentStats",
+    "FieldStats",
+    "OVERRIDE_KEYS",
+    "RunJob",
+    "RunSpec",
+    "RunStore",
+    "VariantAggregate",
+    "aggregate_campaign",
+    "apply_overrides",
+    "execute_job",
+    "render_comparison",
+    "scalar_fields",
+    "spawn_seeds",
+]

@@ -1,0 +1,187 @@
+"""Cross-run aggregation of a campaign's persisted experiment outputs.
+
+A campaign's runs differ only in their seed (within a variant), so every
+numeric scalar an experiment computes — total liquidation profit, bad-debt
+counts, per-platform collateral sold — becomes a *distribution* across
+seeds.  :func:`aggregate_campaign` loads every completed run from the store,
+walks each experiment's JSON ``data`` for scalar fields (nested dicts are
+flattened to ``dotted.paths``; lists/arrays are skipped), and computes
+per-field mean, sample standard deviation, and a normal-approximation 95 %
+confidence half-width (``1.96 · s / √n``).
+
+:func:`render_comparison` turns the aggregate into the text report behind
+``repro compare``: one table per (variant, experiment) with a row per scalar
+field.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..analytics.reporting import format_table
+from ..experiments.runner import EXPERIMENT_IDS
+from .store import RunStore
+
+__all__ = [
+    "FieldStats",
+    "ExperimentStats",
+    "VariantAggregate",
+    "CampaignAggregate",
+    "aggregate_campaign",
+    "render_comparison",
+    "scalar_fields",
+]
+
+
+def scalar_fields(data: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten the numeric scalars of a JSON payload to ``dotted.path`` keys.
+
+    Only dicts are descended into; lists (time series, per-record arrays)
+    and strings are skipped, and booleans are not treated as numbers.
+    """
+    out: dict[str, float] = {}
+    if isinstance(data, Mapping):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(scalar_fields(value, path))
+    elif isinstance(data, (int, float)) and not isinstance(data, bool):
+        if prefix:
+            out[prefix] = float(data)
+    return out
+
+
+@dataclass(frozen=True)
+class FieldStats:
+    """Cross-seed statistics of one scalar field."""
+
+    field: str
+    n: int
+    mean: float
+    stddev: float
+    ci95: float  # 95 % confidence half-width around the mean
+
+    @classmethod
+    def from_values(cls, name: str, values: list[float]) -> "FieldStats":
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+            stddev = math.sqrt(variance)
+        else:
+            stddev = 0.0
+        return cls(field=name, n=n, mean=mean, stddev=stddev, ci95=1.96 * stddev / math.sqrt(n))
+
+
+@dataclass(frozen=True)
+class ExperimentStats:
+    """One experiment's per-field statistics within a variant."""
+
+    experiment_id: str
+    title: str
+    n_runs: int
+    fields: dict[str, FieldStats]
+
+
+@dataclass(frozen=True)
+class VariantAggregate:
+    """All experiments of one variant, aggregated across its seeds."""
+
+    variant: str
+    seeds: tuple[int, ...]
+    experiments: dict[str, ExperimentStats]
+
+
+@dataclass
+class CampaignAggregate:
+    """The full cross-run view of one campaign."""
+
+    campaign: str
+    n_runs: int = 0
+    variants: list[VariantAggregate] = field(default_factory=list)
+
+
+def aggregate_campaign(
+    store: RunStore,
+    campaign: str,
+    experiment_ids: Iterable[str] | None = None,
+) -> CampaignAggregate:
+    """Aggregate every completed run of ``campaign`` in ``store``.
+
+    ``experiment_ids`` restricts the aggregation; by default every
+    experiment present in the runs is aggregated (in paper order).  Runs
+    missing an experiment file simply contribute nothing to that experiment.
+    """
+    run_ids = store.run_ids(campaign)
+    if not run_ids:
+        raise FileNotFoundError(
+            f"campaign {campaign!r} has no completed runs under {store.root}"
+        )
+    wanted = tuple(experiment_ids) if experiment_ids is not None else EXPERIMENT_IDS
+
+    # variant -> (seeds, experiment_id -> list of payloads)
+    by_variant: dict[str, tuple[list[int], dict[str, list[dict]]]] = {}
+    n_runs = 0
+    for run_id in run_ids:
+        manifest = store.read_manifest(campaign, run_id)
+        if not manifest or manifest.get("status") != "completed":
+            continue
+        n_runs += 1
+        variant = manifest.get("variant", "base")
+        seeds, payloads = by_variant.setdefault(variant, ([], {}))
+        seeds.append(int(manifest.get("seed", -1)))
+        for experiment_id in wanted:
+            path = store.experiment_path(campaign, run_id, experiment_id)
+            if not path.is_file():
+                continue
+            payloads.setdefault(experiment_id, []).append(
+                store.read_experiment(campaign, run_id, experiment_id)
+            )
+
+    aggregate = CampaignAggregate(campaign=campaign, n_runs=n_runs)
+    for variant in sorted(by_variant):
+        seeds, payloads = by_variant[variant]
+        experiments: dict[str, ExperimentStats] = {}
+        for experiment_id in wanted:
+            samples = payloads.get(experiment_id)
+            if not samples:
+                continue
+            per_field: dict[str, list[float]] = {}
+            for payload in samples:
+                for name, value in scalar_fields(payload.get("data")).items():
+                    per_field.setdefault(name, []).append(value)
+            experiments[experiment_id] = ExperimentStats(
+                experiment_id=experiment_id,
+                title=samples[0].get("title", experiment_id),
+                n_runs=len(samples),
+                fields={
+                    name: FieldStats.from_values(name, values)
+                    for name, values in sorted(per_field.items())
+                },
+            )
+        aggregate.variants.append(
+            VariantAggregate(variant=variant, seeds=tuple(sorted(seeds)), experiments=experiments)
+        )
+    return aggregate
+
+
+def render_comparison(aggregate: CampaignAggregate) -> str:
+    """Render the cross-run comparison report (``repro compare``)."""
+    lines = [
+        f"Campaign {aggregate.campaign!r} — {aggregate.n_runs} completed runs, "
+        f"{len(aggregate.variants)} variant(s)"
+    ]
+    for variant in aggregate.variants:
+        for experiment_id, stats in variant.experiments.items():
+            if not stats.fields:
+                continue
+            rows = [
+                (entry.field, entry.mean, entry.stddev, f"±{entry.ci95:,.4g}")
+                for entry in stats.fields.values()
+            ]
+            table = format_table(["field", "mean", "stddev", "95% CI"], rows)
+            lines.append(
+                f"\n== {stats.title} — variant {variant.variant!r}, n={stats.n_runs} ==\n{table}"
+            )
+    return "\n".join(lines) + "\n"

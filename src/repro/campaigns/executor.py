@@ -1,0 +1,180 @@
+"""Campaign execution: a scenario-loop driver with a process-pool fan-out.
+
+:class:`CampaignExecutor` expands a :class:`~repro.campaigns.spec.CampaignSpec`
+into runs, skips the ones the store already holds (resume), and executes the
+rest — serially, or over a ``multiprocessing`` spawn pool when ``workers > 1``.
+
+Only :class:`RunJob` (plain strings/ints/tuples) crosses the process
+boundary; each worker rebuilds its world from ``(scenario, overrides, seed)``
+via the scenario registry, runs it, and writes the experiment JSON straight
+into the store.  Because every run is independently seeded and the store
+serialises deterministically, serial and parallel execution produce
+byte-identical per-run files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..chain.types import reset_id_counters
+from ..experiments.runner import run_json
+from .spec import CampaignSpec, RunSpec
+from .store import RunStore
+
+__all__ = ["CampaignExecutor", "CampaignResult", "RunJob", "execute_job"]
+
+#: Progress callback: ``(done, total, run_id, status, elapsed_seconds)``.
+ProgressCallback = Callable[[int, int, str, str, float], None]
+
+
+def _status_of(outcome: RunOutcome) -> str:
+    return "executed" if outcome.error is None else "failed"
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """The picklable unit of work handed to a worker process."""
+
+    store_root: str
+    campaign: str
+    run: RunSpec
+    experiments: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one worker reports back: identity, wall-clock time, any failure."""
+
+    run_id: str
+    elapsed_seconds: float
+    error: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Summary of one :meth:`CampaignExecutor.execute` call."""
+
+    campaign: str
+    store_root: str
+    executed: list[str] = field(default_factory=list)
+    resumed: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)  # run_id -> error
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.executed) + len(self.resumed) + len(self.failed)
+
+
+def execute_job(job: RunJob) -> RunOutcome:
+    """Execute one run end-to-end and persist it (runs inside workers).
+
+    Failures are captured and reported back as the outcome's ``error``
+    instead of raised, so one pathological run cannot abort a campaign (the
+    other workers' completed runs are already durable in the store).
+    """
+    started = time.perf_counter()
+    # Address/tx-hash identifiers come from process-wide counters; reset them
+    # so a run's identifier sequence is independent of how many runs the
+    # process executed before it — serial and pooled execution then produce
+    # byte-identical files.  Each run builds a fresh world, so uniqueness
+    # within the run is unaffected.
+    reset_id_counters()
+    try:
+        builder = job.run.builder()
+        result = builder.run()
+        outputs = run_json(result, job.experiments)
+        elapsed = time.perf_counter() - started
+        RunStore(job.store_root).write_run(
+            job.campaign,
+            job.run,
+            outputs,
+            config_summary=builder.config.describe(),
+            elapsed_seconds=elapsed,
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return RunOutcome(
+            run_id=job.run.run_id,
+            elapsed_seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return RunOutcome(run_id=job.run.run_id, elapsed_seconds=elapsed)
+
+
+class CampaignExecutor:
+    """Fan a campaign's runs out over a worker pool, resuming from the store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: RunStore | None = None,
+        *,
+        workers: int = 1,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store or RunStore()
+        self.workers = max(int(workers), 1)
+        self.progress = progress
+
+    def _report(self, done: int, total: int, run_id: str, status: str, elapsed: float) -> None:
+        if self.progress is not None:
+            self.progress(done, total, run_id, status, elapsed)
+
+    @staticmethod
+    def _record(result: CampaignResult, outcome: RunOutcome) -> None:
+        if outcome.error is None:
+            result.executed.append(outcome.run_id)
+        else:
+            result.failed[outcome.run_id] = outcome.error
+
+    def execute(self) -> CampaignResult:
+        """Run (or resume) the campaign; returns the execution summary."""
+        started = time.perf_counter()
+        campaign = self.spec.campaign
+        runs = self.spec.runs()
+        result = CampaignResult(campaign=campaign, store_root=str(self.store.root))
+
+        pending: list[RunSpec] = []
+        for run in runs:
+            if self.store.is_complete(campaign, run, self.spec.experiments):
+                result.resumed.append(run.run_id)
+            else:
+                pending.append(run)
+        total = len(runs)
+        done = len(result.resumed)
+        for run_id in result.resumed:
+            self._report(done, total, run_id, "resumed", 0.0)
+
+        jobs = [
+            RunJob(
+                store_root=str(self.store.root),
+                campaign=campaign,
+                run=run,
+                experiments=self.spec.experiments,
+            )
+            for run in pending
+        ]
+        if self.workers > 1 and len(jobs) > 1:
+            # Spawn (not fork) so workers start from a clean interpreter on
+            # every platform; each one re-imports the scenario registry.
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=min(self.workers, len(jobs))) as pool:
+                for outcome in pool.imap_unordered(execute_job, jobs):
+                    done += 1
+                    self._record(result, outcome)
+                    self._report(done, total, outcome.run_id, _status_of(outcome), outcome.elapsed_seconds)
+        else:
+            for job in jobs:
+                outcome = execute_job(job)
+                done += 1
+                self._record(result, outcome)
+                self._report(done, total, outcome.run_id, _status_of(outcome), outcome.elapsed_seconds)
+
+        result.executed.sort()
+        result.resumed.sort()
+        result.elapsed_seconds = time.perf_counter() - started
+        return result

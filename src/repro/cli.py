@@ -1,22 +1,29 @@
 """The ``repro`` command line interface.
 
-Wires the named scenario registry to the experiment runner::
+Wires the named scenario registry to the experiment runner and the campaign
+subsystem::
 
-    python -m repro list                       # scenario table
-    python -m repro reports                    # report ids
+    python -m repro list --tag fast --json        # scenario table
+    python -m repro reports                       # report ids
     python -m repro run --scenario march-2020-only --seed 7 --report table1
-    python -m repro run --scenario paper-medium --report all --output report.txt
+    python -m repro sweep --scenario march-2020-only --seeds 8 --workers 4
+    python -m repro compare
 
-``run`` builds the scenario through :class:`~repro.scenarios.ScenarioBuilder`,
-simulates it, and renders the requested table/figure reports to stdout (or
-``--output``).  Progress lines go to stderr so the report itself stays
-pipeable.  Installed via ``pip install -e .`` the same interface is available
-as the ``repro`` console script.
+``run`` builds one scenario through
+:class:`~repro.scenarios.ScenarioBuilder`, simulates it, and renders the
+requested table/figure reports to stdout (or ``--output``).  ``sweep`` fans
+a multi-seed campaign out over a worker pool, persisting every run to the
+on-disk store (``runs/`` by default) so re-running the same sweep resumes
+instead of re-simulating; ``compare`` renders cross-seed statistics (mean /
+stddev / 95 % CI per scalar field) from the store.  Progress lines go to
+stderr so reports stay pipeable.  Installed via ``pip install -e .`` the
+same interface is available as the ``repro`` console script.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -51,22 +58,116 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
     run_parser.add_argument("--output", default=None, metavar="FILE", help="write the report to FILE instead of stdout")
 
-    sub.add_parser("list", help="list registered scenarios")
-    sub.add_parser("reports", help="list report ids accepted by `run --report`")
+    list_parser = sub.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tag", default=None, help="only scenarios carrying this tag")
+    list_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    reports_parser = sub.add_parser("reports", help="list report ids accepted by `run --report`")
+    reports_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a multi-seed campaign in parallel, persisting to the run store"
+    )
+    sweep_parser.add_argument("--scenario", default="small", help="registered scenario name")
+    sweep_parser.add_argument("--seeds", type=int, default=4, metavar="N", help="number of independent seeds")
+    sweep_parser.add_argument("--base-seed", type=int, default=0, help="SeedSequence entropy for the seed range")
+    sweep_parser.add_argument("--workers", type=int, default=1, metavar="W", help="worker processes (1 = serial)")
+    sweep_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
+    sweep_parser.add_argument("--campaign", default=None, help="campaign name (default: the scenario name)")
+    sweep_parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="fixed builder override (repeatable), e.g. --set close_factor=0.5",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help="swept builder override axis (repeatable); axes are crossed",
+    )
+    sweep_parser.add_argument(
+        "--report",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="experiment id to compute per run (repeatable); default: all",
+    )
+
+    compare_parser = sub.add_parser("compare", help="cross-run statistics from the run store")
+    compare_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
+    compare_parser.add_argument(
+        "--campaign", default=None, help="campaign name (default: the store's only campaign)"
+    )
+    compare_parser.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="restrict to these experiment ids (repeatable)",
+    )
+    compare_parser.add_argument("--json", action="store_true", help="emit the aggregate as JSON")
+    compare_parser.add_argument("--output", default=None, metavar="FILE", help="write the report to FILE")
     return parser
 
 
-def _cmd_list() -> int:
+def _dedupe(report_ids: Sequence[str]) -> list[str]:
+    """Drop duplicate report ids, keeping first-occurrence order."""
+    return list(dict.fromkeys(report_ids))
+
+
+def _validate_reports(report_ids: Sequence[str], *, allow_all: bool = True) -> list[str] | None:
+    """Return the unknown ids (``None`` means all valid)."""
+    known = set(EXPERIMENTS)
+    if allow_all:
+        known.add("all")
+    unknown = [report_id for report_id in report_ids if report_id not in known]
+    return unknown or None
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     definitions = scenarios.all_scenarios()
-    width = max((len(name) for name in definitions), default=0)
-    for name in sorted(definitions):
+    names = sorted(definitions)
+    if args.tag is not None:
+        names = [name for name in names if args.tag in definitions[name].tags]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": name,
+                        "description": definitions[name].description,
+                        "tags": list(definitions[name].tags),
+                    }
+                    for name in names
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max((len(name) for name in names), default=0)
+    for name in names:
         definition = definitions[name]
         tags = f"  [{', '.join(definition.tags)}]" if definition.tags else ""
         print(f"{name.ljust(width)}  {definition.description}{tags}")
     return 0
 
 
-def _cmd_reports() -> int:
+def _cmd_reports(args: argparse.Namespace) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"id": experiment_id, "title": EXPERIMENTS[experiment_id].title}
+                    for experiment_id in EXPERIMENT_IDS
+                ],
+                indent=2,
+            )
+        )
+        return 0
     width = max(len(experiment_id) for experiment_id in EXPERIMENT_IDS)
     print(f"{'all'.ljust(width)}  every report below, in paper order")
     for experiment_id in EXPERIMENT_IDS:
@@ -81,9 +182,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _status(f"error: {error.args[0]}")
         return 2
 
-    report_ids = args.report or ["table1"]
+    report_ids = _dedupe(args.report or ["table1"])
     run_everything = "all" in report_ids
-    unknown = [report_id for report_id in report_ids if report_id != "all" and report_id not in EXPERIMENTS]
+    unknown = _validate_reports(report_ids)
     if unknown:
         _status(f"error: unknown report id(s) {', '.join(unknown)}; known: all, {', '.join(EXPERIMENT_IDS)}")
         return 2
@@ -107,13 +208,123 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sections = [run_one(result, report_id, records).report for report_id in report_ids]
         text = "\n\n".join(sections) + "\n"
 
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
+    _emit(text, args.output)
+    return 0
+
+
+def _parse_override(item: str) -> tuple[str, str]:
+    key, separator, value = item.partition("=")
+    if not separator or not key or not value:
+        raise ValueError(f"expected KEY=VALUE, got {item!r}")
+    return key.strip(), value.strip()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .campaigns import CampaignExecutor, CampaignSpec, RunStore
+
+    try:
+        scenarios.get(args.scenario)
+    except scenarios.UnknownScenarioError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    report_ids = _dedupe(args.report) if args.report else ["all"]
+    unknown = _validate_reports(report_ids)
+    if unknown:
+        _status(f"error: unknown report id(s) {', '.join(unknown)}; known: all, {', '.join(EXPERIMENT_IDS)}")
+        return 2
+    if "all" in report_ids:
+        report_ids = list(EXPERIMENT_IDS)
+
+    try:
+        overrides = dict(_parse_override(item) for item in (args.overrides or []))
+        grid = {
+            key: [value for value in values.split(",") if value]
+            for key, values in (_parse_override(item) for item in (args.grid or []))
+        }
+        spec = CampaignSpec(
+            scenario=args.scenario,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            overrides=overrides,
+            grid=grid,
+            experiments=tuple(report_ids),
+            name=args.campaign,
+        )
+    except (KeyError, ValueError) as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    total = len(spec.runs())
+    _status(
+        f"campaign {spec.campaign!r}: scenario {spec.scenario!r}, "
+        f"{len(spec.variants())} variant(s) × {spec.seeds} seed(s) = {total} runs, "
+        f"{args.workers} worker(s), store {args.store}"
+    )
+
+    def progress(done: int, run_total: int, run_id: str, status: str, elapsed: float) -> None:
+        timing = f" ({elapsed:.1f}s)" if status != "resumed" else ""
+        _status(f"[{done}/{run_total}] {status} {run_id}{timing}")
+
+    executor = CampaignExecutor(spec, RunStore(args.store), workers=args.workers, progress=progress)
+    result = executor.execute()
+    failures = f", {len(result.failed)} failed" if result.failed else ""
+    _status(
+        f"campaign {result.campaign!r} done in {result.elapsed_seconds:.1f}s: "
+        f"{len(result.executed)} executed, {len(result.resumed)} resumed{failures} "
+        f"from {result.store_root}"
+    )
+    for run_id, error in result.failed.items():
+        _status(f"  failed {run_id}: {error}")
+    return 1 if result.failed else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .campaigns import RunStore, aggregate_campaign, render_comparison
+    from .serialize import to_jsonable
+
+    store = RunStore(args.store)
+    campaign = args.campaign
+    if campaign is None:
+        candidates = store.campaigns()
+        if len(candidates) == 1:
+            campaign = candidates[0]
+        elif not candidates:
+            _status(f"error: no campaigns under {store.root}; run `repro sweep` first")
+            return 2
+        else:
+            _status(f"error: multiple campaigns under {store.root}; pass --campaign ({', '.join(candidates)})")
+            return 2
+
+    experiment_ids = _dedupe(args.experiment) if args.experiment else None
+    if experiment_ids:
+        unknown = _validate_reports(experiment_ids, allow_all=False)
+        if unknown:
+            _status(f"error: unknown experiment id(s) {', '.join(unknown)}; known: {', '.join(EXPERIMENT_IDS)}")
+            return 2
+
+    try:
+        aggregate = aggregate_campaign(store, campaign, experiment_ids)
+    except FileNotFoundError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    if args.json:
+        text = json.dumps(to_jsonable(aggregate), indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_comparison(aggregate)
+    _emit(text, args.output)
+    return 0
+
+
+def _emit(text: str, output: str | None) -> None:
+    """Write ``text`` to ``output`` (reporting to stderr) or print it."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        _status(f"report written to {args.output}")
+        _status(f"report written to {output}")
     else:
         print(text)
-    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -123,9 +334,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
     if args.command == "reports":
-        return _cmd_reports()
+        return _cmd_reports(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     parser.print_help()
     return 2
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..analytics.records import LiquidationRecord, extract_liquidations
+from ..serialize import to_jsonable
 from ..simulation.config import ScenarioConfig
 from ..simulation.engine import SimulationResult
 from ..simulation.scenarios import run_scenario
@@ -50,6 +51,19 @@ class ExperimentOutput:
     title: str
     data: Any
     report: str
+
+    def json_payload(self) -> dict[str, Any]:
+        """The campaign store's contract: this output as plain JSON data.
+
+        ``data`` is normalised with :func:`repro.serialize.to_jsonable`, so
+        the payload survives a ``json.dumps``/``json.loads`` round trip.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "data": to_jsonable(self.data),
+            "report": self.report,
+        }
 
 
 @dataclass(frozen=True)
@@ -208,6 +222,23 @@ def run_all(result: SimulationResult) -> dict[str, ExperimentOutput]:
     return {
         experiment_id: run_one(result, experiment_id, records)
         for experiment_id in EXPERIMENT_IDS
+    }
+
+
+def run_json(
+    result: SimulationResult,
+    experiment_ids: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Execute experiments and return their JSON payloads, keyed by id.
+
+    This is what campaign workers persist to the run store: every value is
+    JSON-round-trippable plain Python.
+    """
+    ids = EXPERIMENT_IDS if experiment_ids is None else tuple(experiment_ids)
+    records = extract_liquidations(result)
+    return {
+        experiment_id: run_one(result, experiment_id, records).json_payload()
+        for experiment_id in ids
     }
 
 

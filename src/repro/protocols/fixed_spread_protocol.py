@@ -95,6 +95,13 @@ class FixedSpreadProtocol(LendingProtocol):
             raise TransactionReverted(
                 f"liquidator lacks {quote.repay_amount:.4f} {debt_symbol} to repay the debt"
             )
+        if collateral_token.balance_of(self.address) + 1e-9 < quote.collateral_amount:
+            # The seized collateral was lent out: the pool is fully utilized
+            # in that asset and the seize cannot be paid out.
+            raise TransactionReverted(
+                f"{self.name} pool lacks {quote.collateral_amount:.4f} {collateral_symbol} "
+                f"liquidity to pay out the seized collateral"
+            )
         debt_token.transfer(liquidator, self.address, quote.repay_amount)
         collateral_token.transfer(self.address, liquidator, quote.collateral_amount)
         apply_liquidation(position, quote)

@@ -570,6 +570,11 @@ class ScenarioBuilder:
         self._oracles_factory = factory
         return self
 
+    @property
+    def protocol_factory(self) -> Callable[[BuildContext], list[LendingProtocol]]:
+        """The protocol factory in effect (wrap it to post-process protocols)."""
+        return self._protocols_factory
+
     def with_protocol_factory(self, factory) -> "ScenarioBuilder":
         """Replace protocol construction wholesale (``ctx -> [protocols]``)."""
         self._protocols_factory = factory

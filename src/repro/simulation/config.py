@@ -99,6 +99,21 @@ class ScenarioConfig:
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
 
+    def describe(self) -> dict:
+        """A small JSON-ready summary (campaign manifests embed this)."""
+        return {
+            "seed": self.seed,
+            "start_block": self.start_block,
+            "end_block": self.end_block,
+            "blocks_per_step": self.blocks_per_step,
+            "feed_blocks_per_step": self.feed_blocks_per_step,
+            "n_steps": self.n_steps,
+            "borrowers_per_platform": self.population.borrowers_per_platform,
+            "dust_borrowers_per_platform": self.population.dust_borrowers_per_platform,
+            "liquidators": self.population.liquidators,
+            "keepers": self.population.keepers,
+        }
+
     # ------------------------------------------------------------------ #
     # Presets
     # ------------------------------------------------------------------ #
