@@ -66,6 +66,7 @@ class Blockchain:
         self._current_timestamp = self.config.inception_timestamp
         self._log_index = 0
         self._executing_block: int | None = None
+        self._block_receipts: list[Receipt] | None = None
 
     # ------------------------------------------------------------------ #
     # Chain head information
@@ -136,9 +137,12 @@ class Blockchain:
         )
         receipts: list[Receipt] = []
         self._executing_block = self._current_block
+        self._block_receipts = receipts
         for tx in selected:
-            receipts.append(self._execute(tx))
+            receipt = self._execute(tx)
+            receipts.append(receipt)
         self._executing_block = None
+        self._block_receipts = None
         block = Block(
             number=self._current_block,
             timestamp=self._current_timestamp,
@@ -146,6 +150,10 @@ class Blockchain:
             gas_limit=gas_budget,
             base_gas_price=base_price,
         )
+        # Direct executions may have attached receipts mid-block without
+        # going through packing; charge the block's gas accounting only for
+        # what the mempool selection actually consumed of the budget.
+        block.gas_used = sum(tx.gas_limit for tx in selected)
         self.blocks.append(block)
         if self.config.snapshot_interval and (
             (block.number - self.config.inception_block) % self.config.snapshot_interval < stride
@@ -153,6 +161,9 @@ class Blockchain:
             self.take_snapshot(block.number)
         self._current_block += stride
         self._current_timestamp += self.config.seconds_per_block * stride
+        # EVM log indices are per block: the head advanced, so the next
+        # block's logs start counting from zero again.
+        self._log_index = 0
         self.gas_market.step()
         return block
 
@@ -198,8 +209,9 @@ class Blockchain:
         scenario snapshot) and for the case-study replay where the paper
         forks the chain and applies the strategy at an exact block.  The
         receipt is appended to the next mined block's receipt list only if a
-        block is currently being produced; otherwise it is recorded
-        standalone.
+        block is currently being produced (it does not count against the
+        block's gas budget, having bypassed packing); otherwise it is
+        recorded standalone.
         """
         tx = Transaction(
             sender=sender,
@@ -209,7 +221,10 @@ class Blockchain:
             kind=kind,
             metadata=metadata or {},
         )
-        return self._execute(tx)
+        receipt = self._execute(tx)
+        if self._block_receipts is not None:
+            self._block_receipts.append(receipt)
+        return receipt
 
     # ------------------------------------------------------------------ #
     # Events

@@ -7,12 +7,26 @@ the transaction inclusion speed."  The March 2020 MakerDAO incident — keeper
 bots unable to land bids — is a direct consequence of this mechanism, so the
 simulator reproduces it: transactions wait in the mempool, blocks pack the
 highest bidders first, and anything that does not fit waits (or expires).
+
+Internally the pool keeps three views over shared entries:
+
+* a max-heap by gas price (FIFO on ties) that block packing pops from;
+* a min-heap by gas price (LIFO on ties) so the bounded-capacity eviction
+  finds its victim in O(log n) instead of a linear ``max`` + ``remove`` +
+  re-heapify sweep;
+* a FIFO of submissions so expired transactions are swept as soon as their
+  window passes, instead of lingering below the congestion break-point.
+
+Entries are shared between the views and removed lazily: consuming an entry
+in one view marks it dead, the other views skip dead entries when they
+surface and compact when the garbage outweighs the live set.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from .transaction import Transaction, TxStatus
@@ -24,6 +38,7 @@ class _PoolEntry:
 
     sort_key: tuple[int, int]
     transaction: Transaction = field(compare=False)
+    alive: bool = field(default=True, compare=False)
 
 
 class Mempool:
@@ -36,17 +51,24 @@ class Mempool:
 
     def __init__(self, max_pending: int = 50_000, expiry_blocks: int = 5_000) -> None:
         self._heap: list[_PoolEntry] = []
+        #: Min-heap of ``(gas_price, -seq, entry)``: the top is the pool's
+        #: lowest bidder (newest on ties), i.e. the eviction victim.
+        self._evict_heap: list[tuple[int, int, _PoolEntry]] = []
+        #: Entries in submission order; submission blocks are monotone in a
+        #: simulation run, so expired entries sit at the left end.
+        self._fifo: deque[_PoolEntry] = deque()
         self._counter = itertools.count()
+        self._size = 0
         self._max_pending = max_pending
         self._expiry_blocks = expiry_blocks
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
     @property
     def pending(self) -> list[Transaction]:
         """Snapshot of pending transactions (not in inclusion order)."""
-        return [entry.transaction for entry in self._heap]
+        return [entry.transaction for entry in self._heap if entry.alive]
 
     def submit(self, transaction: Transaction, current_block: int) -> None:
         """Add a transaction to the pool.
@@ -55,22 +77,68 @@ class Mempool:
         which, during congestion, is typically a stale keeper bid.
         """
         transaction.submitted_block = current_block
-        entry = _PoolEntry(
-            sort_key=(-transaction.gas_price, next(self._counter)),
-            transaction=transaction,
-        )
+        seq = next(self._counter)
+        entry = _PoolEntry(sort_key=(-transaction.gas_price, seq), transaction=transaction)
         heapq.heappush(self._heap, entry)
-        if len(self._heap) > self._max_pending:
+        heapq.heappush(self._evict_heap, (transaction.gas_price, -seq, entry))
+        self._fifo.append(entry)
+        self._size += 1
+        if self._size > self._max_pending:
             self._drop_lowest()
+        self._compact_if_stale()
 
     def _drop_lowest(self) -> None:
-        """Drop the entry with the lowest gas price."""
-        if not self._heap:
-            return
-        lowest = max(self._heap, key=lambda entry: entry.sort_key)
-        lowest.transaction.status = TxStatus.DROPPED
-        self._heap.remove(lowest)
-        heapq.heapify(self._heap)
+        """Drop the live entry with the lowest gas price (newest on ties)."""
+        while self._evict_heap:
+            _, _, entry = heapq.heappop(self._evict_heap)
+            if entry.alive:
+                self._discard(entry)
+                return
+
+    def _discard(self, entry: _PoolEntry) -> None:
+        """Mark an entry dead and its transaction dropped."""
+        entry.alive = False
+        entry.transaction.status = TxStatus.DROPPED
+        self._size -= 1
+
+    def _consume(self, entry: _PoolEntry) -> None:
+        """Mark an entry dead because its transaction left the pool (mined)."""
+        entry.alive = False
+        self._size -= 1
+
+    def _compact_if_stale(self) -> None:
+        """Rebuild the lazy views once dead entries outnumber live ones."""
+        threshold = 2 * self._size + 64
+        if len(self._evict_heap) > threshold:
+            self._evict_heap = [item for item in self._evict_heap if item[2].alive]
+            heapq.heapify(self._evict_heap)
+        if len(self._heap) > threshold:
+            self._heap = [entry for entry in self._heap if entry.alive]
+            heapq.heapify(self._heap)
+        if len(self._fifo) > threshold:
+            self._fifo = deque(entry for entry in self._fifo if entry.alive)
+
+    def sweep_expired(self, current_block: int) -> int:
+        """Drop every transaction whose expiry window has passed.
+
+        Without this, anything bidding below the congestion break-point is
+        never popped by block packing and would survive its expiry window
+        indefinitely, inflating the pool through long congestion episodes.
+        Returns the number of transactions dropped.
+        """
+        swept = 0
+        while self._fifo:
+            entry = self._fifo[0]
+            if not entry.alive:
+                self._fifo.popleft()
+                continue
+            if current_block - entry.transaction.submitted_block > self._expiry_blocks:
+                self._fifo.popleft()
+                self._discard(entry)
+                swept += 1
+                continue
+            break
+        return swept
 
     def select_for_block(
         self,
@@ -83,24 +151,29 @@ class Mempool:
         ``min_gas_price`` models the market-clearing inclusion price during
         congestion: transactions bidding below it stay pending (they are what
         outside traffic crowds out of full blocks).  Transactions older than
-        the expiry window are silently dropped (their status is set to
+        the expiry window are dropped (their status is set to
         :attr:`TxStatus.DROPPED`), emulating senders replacing or abandoning
-        stale transactions.
+        stale transactions — including the ones sitting below the
+        ``min_gas_price`` break-point that block packing never reaches.
         """
+        self.sweep_expired(current_block)
         selected: list[Transaction] = []
         gas_budget = gas_limit
         skipped: list[_PoolEntry] = []
         while self._heap and gas_budget > 0:
             entry = heapq.heappop(self._heap)
+            if not entry.alive:
+                continue
             tx = entry.transaction
             if current_block - tx.submitted_block > self._expiry_blocks:
-                tx.status = TxStatus.DROPPED
+                self._discard(entry)
                 continue
             if tx.gas_price < min_gas_price:
                 # Everything further down the heap bids even less: stop here.
                 skipped.append(entry)
                 break
             if tx.gas_limit <= gas_budget:
+                self._consume(entry)
                 selected.append(tx)
                 gas_budget -= tx.gas_limit
             else:
@@ -114,8 +187,11 @@ class Mempool:
 
     def clear(self) -> list[Transaction]:
         """Drop every pending transaction and return them (used by tests)."""
-        dropped = [entry.transaction for entry in self._heap]
+        dropped = [entry.transaction for entry in self._heap if entry.alive]
         for tx in dropped:
             tx.status = TxStatus.DROPPED
         self._heap.clear()
+        self._evict_heap.clear()
+        self._fifo.clear()
+        self._size = 0
         return dropped

@@ -10,7 +10,7 @@ from :mod:`repro.core.terminology`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..chain.types import Address
 from .terminology import (
@@ -18,6 +18,9 @@ from .terminology import (
     collateralization_ratio,
     health_factor,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .position_book import PositionBook
 
 #: Token amounts below this threshold are treated as zero ("dust") when
 #: deciding whether a position still owes debt or holds collateral.
@@ -36,15 +39,25 @@ class Position:
     owner: Address
     collateral: dict[str, float] = field(default_factory=dict)
     debt: dict[str, float] = field(default_factory=dict)
+    #: Columnar book mirroring this position, if any (set by
+    #: :meth:`repro.core.position_book.PositionBook.attach`).
+    _book: "PositionBook | None" = field(default=None, repr=False, compare=False)
+    _row: int = field(default=-1, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+    def _touch(self) -> None:
+        """Notify the attached book (if any) that this position changed."""
+        if self._book is not None:
+            self._book.mark_dirty(self._row)
+
     def add_collateral(self, symbol: str, amount: float) -> None:
         """Deposit ``amount`` of ``symbol`` as collateral."""
         if amount < 0:
             raise ValueError("collateral amount must be non-negative")
         self.collateral[symbol] = self.collateral.get(symbol, 0.0) + amount
+        self._touch()
 
     def remove_collateral(self, symbol: str, amount: float) -> None:
         """Withdraw ``amount`` of ``symbol`` collateral."""
@@ -56,12 +69,14 @@ class Position:
             self.collateral.pop(symbol, None)
         else:
             self.collateral[symbol] = remaining
+        self._touch()
 
     def add_debt(self, symbol: str, amount: float) -> None:
         """Borrow ``amount`` of ``symbol``."""
         if amount < 0:
             raise ValueError("debt amount must be non-negative")
         self.debt[symbol] = self.debt.get(symbol, 0.0) + amount
+        self._touch()
 
     def reduce_debt(self, symbol: str, amount: float) -> None:
         """Repay ``amount`` of the ``symbol`` debt."""
@@ -73,6 +88,7 @@ class Position:
             self.debt.pop(symbol, None)
         else:
             self.debt[symbol] = remaining
+        self._touch()
 
     def scale_debt(self, factor: float) -> None:
         """Multiply every debt amount by ``factor`` (interest accrual)."""
@@ -80,6 +96,21 @@ class Position:
             raise ValueError("interest factor must be non-negative")
         for symbol in list(self.debt):
             self.debt[symbol] *= factor
+        self._touch()
+
+    def scale_debts(self, factors: Mapping[str, float]) -> None:
+        """Multiply each debt amount by its per-symbol factor (default 1)."""
+        if not self.debt:
+            return
+        for symbol in list(self.debt):
+            self.debt[symbol] *= factors.get(symbol, 1.0)
+        self._touch()
+
+    def clear(self) -> None:
+        """Wipe all collateral and debt (insurance-fund write-off)."""
+        self.collateral.clear()
+        self.debt.clear()
+        self._touch()
 
     # ------------------------------------------------------------------ #
     # Valuation

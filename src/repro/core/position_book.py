@@ -1,0 +1,246 @@
+"""Columnar position book: NumPy-backed health-factor scans.
+
+Deciding which of thousands of borrowing positions are liquidatable
+(HF < 1, Equation 4) at every block is the measurement pipeline's dominant
+cost when done position-by-position: each scalar check rebuilds per-asset
+USD value dictionaries just to sum them.  The :class:`PositionBook` keeps
+the same data as two dense ``(positions × assets)`` NumPy matrices of token
+*amounts* so one whole-protocol scan is two matrix-vector products::
+
+    BC   = C · (P ∘ LT)        # Equation 3 for every position at once
+    debt = D · P               # Σ debt value for every position at once
+    HF   = BC / debt           # Equation 4, liquidatable where HF < 1
+
+The book is a *cache over* the canonical :class:`~repro.core.position.Position`
+dictionaries, not a replacement: every ``Position`` mutator notifies the book
+(dirty-row tracking) and :meth:`sync` re-materializes only the dirty rows
+before a scan.  Scans therefore cost O(dirty rows) bookkeeping plus one
+vectorized pass, instead of O(positions) dictionary churn per step.
+
+Exactness: NumPy's dot products may sum in a different order than the scalar
+Python path, so the vectorized comparison against 1 could disagree with the
+scalar health factor within a few ulps at the boundary.  The scan is
+therefore used as a *conservative prefilter* — rows are selected with a
+relative safety margin (:data:`SCAN_MARGIN`, several orders of magnitude
+wider than the worst-case dot-product rounding) and callers confirm each
+flagged row with the scalar formula.  That keeps vectorized runs
+bit-identical to scalar runs while only paying the scalar cost on the
+handful of flagged rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from .position import DUST
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .position import Position
+
+#: Relative safety margin of the vectorized prefilter.  A row is flagged as a
+#: liquidation candidate when ``BC < debt × (1 + SCAN_MARGIN)``; the scalar
+#: confirmation then decides exactly.  Dot-product rounding is bounded by
+#: ``n_assets × machine-epsilon ≈ 1e-14`` relative, so 1e-9 cannot produce a
+#: false negative.
+SCAN_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class BookScan:
+    """One vectorized valuation pass over every position in a book.
+
+    All arrays are indexed by book row (creation order, which matches the
+    protocol's ``positions`` dict iteration order).
+    """
+
+    book: "PositionBook"
+    collateral_usd: np.ndarray
+    debt_usd: np.ndarray
+    borrowing_capacity_usd: np.ndarray
+    has_debt: np.ndarray
+    has_collateral: np.ndarray
+
+    def health_factors(self) -> np.ndarray:
+        """Equation 4 per row; ``inf`` where the row owes nothing."""
+        hf = np.full(self.debt_usd.shape, np.inf)
+        np.divide(
+            self.borrowing_capacity_usd,
+            self.debt_usd,
+            out=hf,
+            where=self.debt_usd > 0.0,
+        )
+        return hf
+
+    def candidate_rows(self, require_collateral: bool = False) -> np.ndarray:
+        """Rows that *may* be liquidatable (HF < 1 up to :data:`SCAN_MARGIN`).
+
+        This is the conservative prefilter: every truly liquidatable row is
+        included, a boundary row within the margin may be flagged spuriously.
+        Callers confirm with the scalar ``Position.is_liquidatable``.
+        """
+        mask = (
+            self.has_debt
+            & (self.debt_usd > 0.0)
+            & (self.borrowing_capacity_usd < self.debt_usd * (1.0 + SCAN_MARGIN))
+        )
+        if require_collateral:
+            mask &= self.has_collateral
+        return np.flatnonzero(mask)
+
+    def under_collateralized_rows(self) -> np.ndarray:
+        """Rows that *may* have CR < 1 (Equation 2), margin as above."""
+        mask = (
+            self.has_debt
+            & (self.debt_usd > 0.0)
+            & (self.collateral_usd < self.debt_usd * (1.0 + SCAN_MARGIN))
+        )
+        return np.flatnonzero(mask)
+
+    def positions(self, rows: np.ndarray) -> list["Position"]:
+        """The :class:`Position` objects behind ``rows`` (in row order)."""
+        return [self.book.position_at(int(row)) for row in rows]
+
+
+class PositionBook:
+    """Dense columnar mirror of a protocol's positions.
+
+    Rows are positions in creation order; columns are asset symbols.  The
+    amounts are mirrored from the canonical ``Position`` dictionaries via
+    dirty-row tracking: attach a position with :meth:`attach` and every
+    subsequent ``Position`` mutation marks its row for re-sync.
+    """
+
+    def __init__(self) -> None:
+        self._assets: list[str] = []
+        self._asset_cols: dict[str, int] = {}
+        self._positions: list[Position] = []
+        self._collateral = np.zeros((0, 0))
+        self._debt = np.zeros((0, 0))
+        self._dirty: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def assets(self) -> tuple[str, ...]:
+        """Tracked asset columns, in column order."""
+        return tuple(self._assets)
+
+    @property
+    def dirty_rows(self) -> frozenset[int]:
+        """Rows awaiting re-sync (observable for tests and diagnostics)."""
+        return frozenset(self._dirty)
+
+    def position_at(self, row: int) -> "Position":
+        """The position stored at ``row``."""
+        return self._positions[row]
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def ensure_asset(self, symbol: str) -> int:
+        """Register (idempotently) a column for ``symbol`` and return it.
+
+        Symbols are stored verbatim — the book must value exactly the keys
+        the position dictionaries hold, with the same missing-threshold /
+        missing-price semantics as the scalar formulas.
+        """
+        col = self._asset_cols.get(symbol)
+        if col is None:
+            col = len(self._assets)
+            self._asset_cols[symbol] = col
+            self._assets.append(symbol)
+            self._grow(len(self._positions), len(self._assets))
+        return col
+
+    def attach(self, position: "Position") -> int:
+        """Track ``position`` in the book and return its row."""
+        if position._book is not None:
+            raise ValueError("position is already attached to a book")
+        row = len(self._positions)
+        self._positions.append(position)
+        self._grow(len(self._positions), len(self._assets))
+        position._book = self
+        position._row = row
+        self._dirty.add(row)
+        return row
+
+    def mark_dirty(self, row: int) -> None:
+        """Schedule ``row`` for re-materialization at the next sync."""
+        self._dirty.add(row)
+
+    def _grow(self, rows: int, cols: int) -> None:
+        cap_rows, cap_cols = self._collateral.shape
+        if rows <= cap_rows and cols <= cap_cols:
+            return
+        new_rows = cap_rows if rows <= cap_rows else max(rows, 2 * cap_rows, 64)
+        new_cols = cap_cols if cols <= cap_cols else max(cols, 2 * cap_cols, 8)
+        collateral = np.zeros((new_rows, new_cols))
+        debt = np.zeros((new_rows, new_cols))
+        if cap_rows and cap_cols:
+            collateral[:cap_rows, :cap_cols] = self._collateral
+            debt[:cap_rows, :cap_cols] = self._debt
+        self._collateral = collateral
+        self._debt = debt
+
+    # ------------------------------------------------------------------ #
+    # Sync and scan
+    # ------------------------------------------------------------------ #
+    def sync(self) -> int:
+        """Flush dirty rows from the position dicts into the matrices.
+
+        Returns the number of rows refreshed.
+        """
+        if not self._dirty:
+            return 0
+        for row in self._dirty:
+            position = self._positions[row]
+            for symbol in position.collateral:
+                self.ensure_asset(symbol)
+            for symbol in position.debt:
+                self.ensure_asset(symbol)
+        cols = self._asset_cols
+        n_assets = len(self._assets)
+        refreshed = len(self._dirty)
+        for row in self._dirty:
+            position = self._positions[row]
+            self._collateral[row, :n_assets] = 0.0
+            self._debt[row, :n_assets] = 0.0
+            for symbol, amount in position.collateral.items():
+                self._collateral[row, cols[symbol]] = amount
+            for symbol, amount in position.debt.items():
+                self._debt[row, cols[symbol]] = amount
+        self._dirty.clear()
+        return refreshed
+
+    def scan(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> BookScan:
+        """One vectorized valuation of every position at ``prices``.
+
+        Missing prices value an asset at 0 and missing thresholds contribute
+        no borrowing capacity, mirroring ``terminology.borrowing_capacity``.
+        """
+        self.sync()
+        n_rows = len(self._positions)
+        n_assets = len(self._assets)
+        price_vec = np.fromiter(
+            (prices.get(symbol, 0.0) for symbol in self._assets), dtype=float, count=n_assets
+        )
+        lt_vec = np.fromiter(
+            (thresholds.get(symbol, 0.0) for symbol in self._assets), dtype=float, count=n_assets
+        )
+        collateral = self._collateral[:n_rows, :n_assets]
+        debt = self._debt[:n_rows, :n_assets]
+        return BookScan(
+            book=self,
+            collateral_usd=collateral @ price_vec,
+            debt_usd=debt @ price_vec,
+            borrowing_capacity_usd=collateral @ (price_vec * lt_vec),
+            has_debt=(debt > DUST).any(axis=1),
+            has_collateral=(collateral > DUST).any(axis=1),
+        )

@@ -78,15 +78,14 @@ class AaveProtocol(FixedSpreadProtocol):
         )
         self.version = version
         for symbol, (threshold, spread) in (markets or AAVE_MARKETS).items():
-            if symbol in registry or True:
-                registry.ensure(symbol)
-                self.add_market(
-                    MarketConfig(
-                        symbol=symbol,
-                        liquidation_threshold=threshold,
-                        liquidation_spread=spread,
-                    )
+            registry.ensure(symbol)
+            self.add_market(
+                MarketConfig(
+                    symbol=symbol,
+                    liquidation_threshold=threshold,
+                    liquidation_spread=spread,
                 )
+            )
 
 
 def make_aave_v1(chain: Blockchain, oracle: PriceOracle, registry: TokenRegistry) -> AaveProtocol:

@@ -18,6 +18,7 @@ from typing import Iterable, Mapping
 from ..chain.chain import Blockchain
 from ..chain.types import Address, make_address
 from ..core.position import DUST, Position
+from ..core.position_book import BookScan, PositionBook
 from ..core.terminology import LiquidationParams
 from ..oracle.chainlink import PriceOracle
 from ..tokens.registry import TokenRegistry
@@ -75,6 +76,8 @@ class LendingProtocol(abc.ABC):
         self.address = make_address(name)
         self.markets: dict[str, MarketConfig] = {}
         self.positions: dict[Address, Position] = {}
+        #: Columnar mirror of every position for vectorized health scans.
+        self.book = PositionBook()
         self.inception_block = chain.current_block if inception_block is None else inception_block
         self._total_borrowed_usd_estimate = 0.0
         self._last_accrual_block = self.chain.current_block
@@ -86,6 +89,9 @@ class LendingProtocol(abc.ABC):
     def add_market(self, market: MarketConfig) -> MarketConfig:
         """Register a market (idempotent per symbol)."""
         self.markets[market.symbol.upper()] = market
+        # Pre-register the asset column so the book's matrices do not need
+        # to grow mid-run when the first deposit of the asset arrives.
+        self.book.ensure_asset(market.symbol)
         return market
 
     def market(self, symbol: str) -> MarketConfig:
@@ -120,9 +126,12 @@ class LendingProtocol(abc.ABC):
     # ------------------------------------------------------------------ #
     def position_of(self, user: Address) -> Position:
         """Return (creating if needed) the position of ``user``."""
-        if user not in self.positions:
-            self.positions[user] = Position(owner=user)
-        return self.positions[user]
+        position = self.positions.get(user)
+        if position is None:
+            position = Position(owner=user)
+            self.positions[user] = position
+            self.book.attach(position)
+        return position
 
     def open_positions(self) -> list[Position]:
         """Positions that still carry debt or collateral."""
@@ -142,13 +151,28 @@ class LendingProtocol(abc.ABC):
 
     def liquidatable_positions(self) -> list[Position]:
         """All positions whose health factor is below 1 at current prices."""
+        return self.liquidatable_candidates()
+
+    def book_scan(self) -> BookScan:
+        """One vectorized valuation of every position at current prices."""
+        return self.book.scan(self.prices(), self.liquidation_thresholds())
+
+    def liquidatable_candidates(self, require_collateral: bool = False) -> list[Position]:
+        """Positions with HF < 1, found by the columnar scan.
+
+        The book flags candidate rows with a safety margin and each flagged
+        row is confirmed with the scalar health factor, so the result is
+        exactly the set (and order) a scalar sweep over ``positions`` finds.
+        """
         prices = self.prices()
         thresholds = self.liquidation_thresholds()
-        return [
-            position
-            for position in self.positions.values()
-            if position.has_debt and position.is_liquidatable(prices, thresholds)
-        ]
+        scan = self.book.scan(prices, thresholds)
+        candidates: list[Position] = []
+        for row in scan.candidate_rows(require_collateral=require_collateral):
+            position = self.book.position_at(int(row))
+            if position.is_liquidatable(prices, thresholds):
+                candidates.append(position)
+        return candidates
 
     # ------------------------------------------------------------------ #
     # User actions (Figure 1: collateralize / borrow / repay / withdraw)
@@ -269,8 +293,7 @@ class LendingProtocol(abc.ABC):
             for symbol, market in self.markets.items()
         }
         for position in self.positions.values():
-            for symbol in list(position.debt):
-                position.debt[symbol] *= factors.get(symbol, 1.0)
+            position.scale_debts(factors)
         self._last_accrual_block = block
 
     # ------------------------------------------------------------------ #

@@ -69,7 +69,7 @@ class CompoundProtocol(FixedSpreadProtocol):
             self.add_market(
                 MarketConfig(
                     symbol=symbol,
-                    liquidation_threshold=threshold if threshold > 0 else 0.0,
+                    liquidation_threshold=threshold,
                     liquidation_spread=liquidation_spread,
                     collateral_enabled=threshold > 0,
                 )

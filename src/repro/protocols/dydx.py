@@ -85,15 +85,19 @@ class DydxProtocol(FixedSpreadProtocol):
         """
         prices = self.prices()
         written_off = 0.0
-        for position in self.positions_with_debt():
+        # The columnar scan flags CR < 1 candidates (with a safety margin);
+        # each is confirmed with the scalar ratio before being written off,
+        # so the set matches a scalar sweep over every indebted position.
+        scan = self.book.scan(prices, self.liquidation_thresholds())
+        for row in scan.under_collateralized_rows():
+            position = self.book.position_at(int(row))
             if not position.is_under_collateralized(prices):
                 continue
             debt_usd = position.total_debt_usd(prices)
             collateral_usd = position.total_collateral_usd(prices)
             written_off += debt_usd - collateral_usd
             # The fund absorbs the shortfall: debt and collateral are cleared.
-            position.debt.clear()
-            position.collateral.clear()
+            position.clear()
             self.chain.emit_event(
                 "InsuranceWriteOff",
                 emitter=self.address,

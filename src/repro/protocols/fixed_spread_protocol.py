@@ -133,6 +133,26 @@ class FixedSpreadProtocol(LendingProtocol):
         )
         return result
 
+    def quote_best_opportunity(self, borrower: Address) -> FixedSpreadQuote | None:
+        """Quote the liquidation a rational bot would attempt on ``borrower``.
+
+        Picks the largest (debt, collateral) pair, caps the repayment at the
+        close factor and previews the call; returns ``None`` when there is
+        nothing (or nothing valid) to liquidate.  This is the per-candidate
+        step the opportunity scan runs after the columnar health-factor pass.
+        """
+        pair = self.best_liquidation_pair(borrower)
+        if pair is None:
+            return None
+        debt_symbol, collateral_symbol = pair
+        repay_amount = self.max_repay_amount(borrower, debt_symbol)
+        if repay_amount <= 0:
+            return None
+        try:
+            return self.quote_liquidation_call(borrower, debt_symbol, collateral_symbol, repay_amount)
+        except LiquidationError:
+            return None
+
     def best_liquidation_pair(self, borrower: Address) -> tuple[str, str] | None:
         """The (debt, collateral) pair with the largest outstanding values.
 

@@ -162,9 +162,9 @@ class MakerDAOProtocol(LendingProtocol):
         if elapsed <= 0:
             return
         factor = self.stability_fee_model.accrual_factor(0.0, elapsed)
+        factors = {"DAI": factor}
         for position in self.positions.values():
-            if "DAI" in position.debt:
-                position.debt["DAI"] *= factor
+            position.scale_debts(factors)
         self._last_accrual_block = block
 
     # ------------------------------------------------------------------ #

@@ -31,7 +31,7 @@ from ..amm.router import AmmRouter
 from ..chain.chain import Blockchain
 from ..chain.transaction import TxKind
 from ..chain.types import Address, make_address
-from ..core.fixed_spread import LiquidationError
+from ..core.position import Position
 from ..flashloan.pool import FlashLoanProvider
 from ..oracle.chainlink import PriceOracle
 from ..oracle.feed import PriceFeed
@@ -132,6 +132,11 @@ class SimulationEngine:
         self.market_maker = market_maker or MarketMaker(oracle=oracle, registry=registry)
         self.agents: list = []
         self.scheduled_events: list[ScheduledEvent] = []
+        #: ``"vectorized"`` (default) scans positions through each protocol's
+        #: columnar :class:`~repro.core.position_book.PositionBook`;
+        #: ``"scalar"`` keeps the legacy per-position sweep.  Both backends
+        #: produce bit-identical runs (see ``tests/test_scan_equivalence.py``).
+        self.scan_backend: str = "vectorized"
         self.step_index = 0
         self.rng = np.random.default_rng(config.seed + 104729)
         self._traffic_address = make_address("background-traffic")
@@ -203,6 +208,26 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     # Per-step opportunity scans (shared by all liquidator / keeper agents)
     # ------------------------------------------------------------------ #
+    def _liquidatable_candidates(self, protocol: LendingProtocol, require_collateral: bool = False) -> list[Position]:
+        """Liquidatable positions of ``protocol`` via the selected backend.
+
+        The vectorized backend flags candidate rows with the columnar book
+        and confirms each with the scalar health factor, so both backends
+        return exactly the same positions in the same order.
+        """
+        if self.scan_backend == "vectorized":
+            return protocol.liquidatable_candidates(require_collateral=require_collateral)
+        if self.scan_backend != "scalar":
+            raise ValueError(f"unknown scan backend {self.scan_backend!r}")
+        prices = protocol.prices()
+        thresholds = protocol.liquidation_thresholds()
+        return [
+            position
+            for position in protocol.positions_with_debt()
+            if (position.has_collateral or not require_collateral)
+            and position.is_liquidatable(prices, thresholds)
+        ]
+
     def fixed_spread_opportunities(self) -> list[LiquidationOpportunity]:
         """Liquidatable positions on the fixed spread protocols, this step."""
         if self._fixed_spread_cache is not None:
@@ -211,28 +236,16 @@ class SimulationEngine:
         for protocol in self.fixed_spread_protocols():
             if not self.is_active(protocol):
                 continue
-            prices = protocol.prices()
-            thresholds = protocol.liquidation_thresholds()
-            for position in protocol.positions_with_debt():
-                if not position.is_liquidatable(prices, thresholds):
-                    continue
-                pair = protocol.best_liquidation_pair(position.owner)
-                if pair is None:
-                    continue
-                debt_symbol, collateral_symbol = pair
-                repay_amount = protocol.max_repay_amount(position.owner, debt_symbol)
-                if repay_amount <= 0:
-                    continue
-                try:
-                    quote = protocol.quote_liquidation_call(position.owner, debt_symbol, collateral_symbol, repay_amount)
-                except LiquidationError:
+            for position in self._liquidatable_candidates(protocol):
+                quote = protocol.quote_best_opportunity(position.owner)
+                if quote is None:
                     continue
                 opportunities.append(
                     LiquidationOpportunity(
                         protocol=protocol,
                         borrower=position.owner,
-                        debt_symbol=debt_symbol,
-                        collateral_symbol=collateral_symbol,
+                        debt_symbol=quote.debt_symbol,
+                        collateral_symbol=quote.collateral_symbol,
                         repay_amount=quote.repay_amount,
                         expected_profit_usd=quote.profit_usd,
                         health_factor=quote.health_factor_before,
@@ -249,12 +262,9 @@ class SimulationEngine:
         if makerdao is None or not self.is_active(makerdao):
             self._makerdao_cache = []
             return self._makerdao_cache
-        prices = makerdao.prices()
-        thresholds = makerdao.liquidation_thresholds()
         vaults = [
             position.owner
-            for position in makerdao.positions_with_debt()
-            if position.has_collateral and position.is_liquidatable(prices, thresholds)
+            for position in self._liquidatable_candidates(makerdao, require_collateral=True)
         ]
         self._makerdao_cache = vaults
         return vaults

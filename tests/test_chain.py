@@ -66,6 +66,62 @@ class TestMempool:
         assert len(dropped) == 1
         assert len(pool) == 0
 
+    def test_full_pool_evicts_lowest_bidder(self):
+        pool = Mempool(max_pending=3)
+        lowest = make_tx(1.0)
+        keepers = [make_tx(price) for price in (5.0, 4.0, 3.0)]
+        pool.submit(lowest, current_block=0)
+        for tx in keepers:
+            pool.submit(tx, current_block=0)
+        assert len(pool) == 3
+        assert lowest.status is TxStatus.DROPPED
+        assert lowest not in pool.pending
+        selected = pool.select_for_block(1_000_000, current_block=0)
+        assert [tx.gas_price for tx in selected] == sorted(
+            (tx.gas_price for tx in keepers), reverse=True
+        )
+
+    def test_eviction_drops_newest_of_tied_lowest(self):
+        pool = Mempool(max_pending=2)
+        older, newer = make_tx(1.0), make_tx(1.0)
+        pool.submit(older, current_block=0)
+        pool.submit(newer, current_block=0)
+        pool.submit(make_tx(9.0), current_block=0)
+        assert newer.status is TxStatus.DROPPED
+        assert older.status is TxStatus.PENDING
+
+    def test_eviction_stays_bounded_under_churn(self):
+        pool = Mempool(max_pending=50)
+        for i in range(1_000):
+            pool.submit(make_tx(float(1 + i % 97)), current_block=i // 10)
+        assert len(pool) == 50
+        assert len(pool.pending) == 50
+
+    def test_expired_low_bids_swept_below_congestion_breakpoint(self):
+        """A bid below ``min_gas_price`` is never popped by block packing;
+        the sweep must still drop it once its expiry window passes."""
+        pool = Mempool(expiry_blocks=10)
+        priced_out = make_tx(1.0)
+        pool.submit(priced_out, current_block=0)
+        # Congested selection never reaches the low bid, so it stays pending.
+        pool.select_for_block(1_000_000, current_block=5, min_gas_price=gwei(50.0))
+        assert len(pool) == 1
+        # Long after expiry, selection sweeps it even though min_gas_price
+        # still prevents it from being popped.
+        pool.select_for_block(1_000_000, current_block=50, min_gas_price=gwei(50.0))
+        assert len(pool) == 0
+        assert priced_out.status is TxStatus.DROPPED
+
+    def test_sweep_expired_reports_drop_count(self):
+        pool = Mempool(expiry_blocks=10)
+        for _ in range(3):
+            pool.submit(make_tx(2.0), current_block=0)
+        fresh = make_tx(2.0)
+        pool.submit(fresh, current_block=95)
+        assert pool.sweep_expired(current_block=100) == 3
+        assert len(pool) == 1
+        assert fresh.status is TxStatus.PENDING
+
 
 class TestGasMarket:
     def test_congestion_raises_price(self):
@@ -187,3 +243,73 @@ class TestBlockchain:
         receipt = chain.execute_directly(ALICE, lambda: "done")
         assert receipt.result == "done"
         assert len(chain.mempool) == 0
+
+    def test_execute_directly_outside_mining_is_standalone(self):
+        chain = Blockchain()
+        receipt = chain.execute_directly(ALICE, lambda: "setup")
+        block = chain.mine_block()
+        assert receipt not in block.receipts
+        assert chain.receipts_by_hash[receipt.tx_hash] is receipt
+
+    def test_execute_directly_during_mining_joins_block_receipts(self):
+        """A direct execution triggered while a block is being produced must
+        land in that block's receipt list, as the docstring promises."""
+        chain = Blockchain()
+        direct_receipts = []
+
+        def action():
+            direct_receipts.append(chain.execute_directly(ALICE, lambda: "mid-block"))
+            return "outer"
+
+        chain.submit_call(ALICE, action, gas_price=gwei(5.0), gas_limit=50_000)
+        block = chain.mine_block()
+        assert len(block.receipts) == 2
+        assert block.receipts[0] is direct_receipts[0]
+        assert block.receipts[0].result == "mid-block"
+        assert block.receipts[1].result == "outer"
+        # The in-flight list is released once the block is sealed.
+        later = chain.execute_directly(ALICE, lambda: "after")
+        assert later not in block.receipts
+
+    def test_direct_execution_does_not_consume_block_gas(self):
+        """Direct receipts join the block's receipt list but bypassed
+        packing, so they must not inflate gas_used / utilization."""
+        chain = Blockchain()
+
+        def action():
+            chain.execute_directly(ALICE, lambda: None, gas_limit=400_000)
+            return None
+
+        chain.submit_call(ALICE, action, gas_price=gwei(5.0), gas_limit=60_000)
+        block = chain.mine_block()
+        assert len(block.receipts) == 2
+        assert block.gas_used == 60_000
+        assert block.utilization <= 1.0
+
+    def test_log_index_resets_every_block(self):
+        chain = Blockchain()
+        emitter = make_address("contract")
+        chain.emit_event("Ping", emitter, {})
+        chain.emit_event("Ping", emitter, {})
+        chain.mine_block()
+        chain.emit_event("Ping", emitter, {})
+        chain.mine_block()
+        by_block = {}
+        for event in chain.events:
+            by_block.setdefault(event.block_number, []).append(event.log_index)
+        for indices in by_block.values():
+            assert indices == list(range(len(indices)))
+
+    def test_log_index_orders_events_within_a_mined_block(self):
+        chain = Blockchain()
+        emitter = make_address("contract")
+
+        def action():
+            chain.emit_event("FromTx", emitter, {})
+
+        chain.emit_event("Setup", emitter, {})
+        chain.submit_call(ALICE, action, gas_price=gwei(5.0), gas_limit=50_000)
+        block = chain.mine_block()
+        in_block = [event for event in chain.events if event.block_number == block.number]
+        assert [event.log_index for event in in_block] == [0, 1]
+        assert [event.name for event in in_block] == ["Setup", "FromTx"]

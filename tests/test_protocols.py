@@ -171,6 +171,44 @@ class TestProtocolParameters:
         assert written_off > 0
         assert not dydx.position_of(borrower).has_debt
 
+    def test_dydx_write_off_matches_scalar_reference(self, chain, oracle, registry):
+        """The write-off runs through the columnar book; guard it against
+        dirty-tracking bugs with a scalar reference computed independently
+        (the engine's scalar backend does not cover this path)."""
+        dydx = make_dydx(chain, oracle, registry)
+        lender = make_address("dydx-lender")
+        registry.get("USDC").mint(lender, 10_000_000.0)
+        dydx.supply_liquidity(lender, "USDC", 10_000_000.0)
+        # A spread of positions: some end up with CR < 1, some stay covered.
+        for i, borrowed in enumerate((1_400.0, 900.0, 1_700.0, 300.0, 1_650.0)):
+            borrower = make_address(f"dydx-spread-{i}")
+            registry.get("ETH").mint(borrower, 1.0)
+            dydx.deposit(borrower, "ETH", 1.0)
+            dydx.borrow(borrower, "USDC", borrowed)
+        oracle.post_price("ETH", 1_500.0)
+        prices = dydx.prices()
+        expected = {
+            position.owner.value
+            for position in dydx.positions_with_debt()
+            if position.is_under_collateralized(prices)
+        }
+        assert expected  # the workload actually exercises the write-off
+        expected_usd = sum(
+            position.total_debt_usd(prices) - position.total_collateral_usd(prices)
+            for position in dydx.positions_with_debt()
+            if position.is_under_collateralized(prices)
+        )
+        written_off = dydx.write_off_bad_debt()
+        cleared = {
+            position.owner.value for position in dydx.positions.values() if position.is_empty
+        }
+        assert cleared == expected
+        assert written_off == pytest.approx(expected_usd)
+        assert all(
+            not position.is_under_collateralized(dydx.prices())
+            for position in dydx.positions_with_debt()
+        )
+
     def test_interest_models(self):
         model = KinkedRateModel(base_rate=0.0, slope_low=0.04, slope_high=0.75, kink=0.8)
         assert model.borrow_apr(0.0) == pytest.approx(0.0)
