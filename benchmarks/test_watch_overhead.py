@@ -1,0 +1,120 @@
+"""Benchmark — observer-bus overhead: instrumented vs bare runs.
+
+The streaming observer API is only viable if watching a run costs almost
+nothing: the engine's emission sites are gated on ``bus.active``, and the
+chain-log drain plus event construction must stay in the noise next to the
+simulation itself.  This benchmark times the same truncated seed-pinned
+scenario twice per round:
+
+* ``bare``      — no probes attached (the bus short-circuits: no events are
+  even constructed);
+* ``observed``  — a no-op probe attached, forcing the full hot path: event
+  construction, the chain-log → typed-event drain, and bus dispatch.
+
+Both runs build identical worlds (ids reset per run), so the difference is
+exactly the bus.  With ``BENCH_RECORD=1`` the result is written to
+``BENCH_watch.json`` at the repo root (a seed record is committed; CI
+regenerates and uploads it as an artifact).  The <5 % overhead ceiling is
+asserted only under ``BENCH_ENFORCE=1`` (the dedicated CI benchmark job):
+shared tier-1 runners are too noisy to gate the matrix on a timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro import scenarios
+from repro.chain.types import reset_id_counters
+
+#: Block strides of the timed window (≈ half the `small` scenario).
+STRIDES = 60
+#: Best-of-N timing with per-round order alternation: enough rounds that a
+#: scheduler hiccup cannot push a ~100 ms run past the 5 % ceiling, and
+#: alternating bare/observed order so clock-frequency drift during the
+#: benchmark biases neither side.
+ROUNDS = 6
+SEED = 11
+#: Maximum tolerated slowdown of an observed run over a bare run.
+OVERHEAD_CEILING = 0.05
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_watch.json"
+
+
+class NoOpProbe:
+    """Keeps the bus active so every emission site pays full freight."""
+
+    events_seen = 0
+
+    def on_event(self, event) -> None:
+        self.events_seen += 1
+
+    def finalize(self) -> None:
+        pass
+
+
+def timed_run(observed: bool) -> tuple[float, int]:
+    reset_id_counters()
+    builder = scenarios.get("small").builder(seed=SEED)
+    config = builder.config
+    end_block = min(config.end_block, config.start_block + STRIDES * config.blocks_per_step)
+    builder.config = config.with_overrides(end_block=end_block)
+    engine = builder.build()
+    probe = NoOpProbe()
+    if observed:
+        engine.attach_probe(probe)
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start, probe.events_seen
+
+
+def test_observer_bus_overhead():
+    # Warm-up run to take imports, JIT-ish numpy paths and allocator noise
+    # out of the first measurement.
+    timed_run(False)
+
+    bare_s = float("inf")
+    observed_s = float("inf")
+    events_seen = 0
+    for round_index in range(ROUNDS):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for observed in order:
+            elapsed, events = timed_run(observed)
+            if observed:
+                observed_s = min(observed_s, elapsed)
+                events_seen = max(events_seen, events)
+            else:
+                bare_s = min(bare_s, elapsed)
+
+    assert events_seen > STRIDES  # the probe really saw the stream
+    overhead = observed_s / bare_s - 1.0
+
+    record = {
+        "benchmark": "watch_overhead",
+        "scenario": "small",
+        "strides": STRIDES,
+        "rounds": ROUNDS,
+        "bare_seconds": bare_s,
+        "observed_seconds": observed_s,
+        "overhead_fraction": overhead,
+        "events_streamed": events_seen,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    if os.environ.get("BENCH_RECORD"):
+        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    message = (
+        f"observer bus adds {overhead * 100:.1f}% overhead "
+        f"({observed_s * 1e3:.0f} ms observed vs {bare_s * 1e3:.0f} ms bare)"
+    )
+    if os.environ.get("BENCH_ENFORCE"):
+        assert overhead < OVERHEAD_CEILING, message
+    elif overhead >= OVERHEAD_CEILING:
+        warnings.warn(message)

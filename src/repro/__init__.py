@@ -14,6 +14,10 @@ The package is organised in layers:
 * :mod:`repro.scenarios` — the composable scenario API: the fluent
   :class:`~repro.scenarios.ScenarioBuilder`, first-class incidents, and the
   named scenario registry behind the ``python -m repro`` CLI.
+* :mod:`repro.observers` — the streaming observer API: typed
+  :class:`~repro.observers.events.SimEvent` s published by the engine's
+  bus, consumed live by probes (liquidation recording, health-factor
+  watching, per-step metrics, JSONL sinks).
 * :mod:`repro.analytics` — the measurement pipeline (the paper's "custom
   client").
 * :mod:`repro.experiments` — one harness per table and figure of the paper.
@@ -21,15 +25,15 @@ The package is organised in layers:
 Quickstart::
 
     from repro import scenarios
-    from repro.analytics import extract_liquidations, profit_report
+    from repro.analytics import profit_report
 
     result = scenarios.get("small").run(seed=7)
-    records = extract_liquidations(result)
-    print(profit_report(records))
+    print(profit_report(result.records))
 
 or, without writing any code::
 
     python -m repro run --scenario march-2020-only --report table1
+    python -m repro watch march-2020-only --hf-below 1.1
 """
 
 __version__ = "1.0.0"

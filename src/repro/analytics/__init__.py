@@ -32,7 +32,15 @@ from .price_movement import (
 )
 from .profit_volume import ProfitVolumeReport, monthly_collateral_volume, profit_volume_report
 from .profits import LiquidatorSummary, PlatformProfitRow, ProfitReport, profit_report
-from .records import LiquidationRecord, extract_liquidations, filter_market, records_by_platform
+from .records import (
+    LiquidationRecord,
+    auction_record,
+    extract_liquidations,
+    filter_market,
+    fixed_spread_record,
+    record_from_event,
+    records_by_platform,
+)
 from .reporting import format_section, format_table
 from .sensitivity_analysis import PlatformSensitivity, platform_sensitivity, sensitivity_figure
 from .stablecoin_analysis import StablecoinStabilityReport, stablecoin_stability
@@ -63,11 +71,13 @@ __all__ = [
     "StablecoinStabilityReport",
     "UnprofitableCell",
     "accumulative_collateral_series",
+    "auction_record",
     "auction_report",
     "bad_debt_table",
     "classify_path",
     "extract_liquidations",
     "filter_market",
+    "fixed_spread_record",
     "flash_loan_report",
     "format_section",
     "format_table",
@@ -87,6 +97,7 @@ __all__ = [
     "price_movement_report",
     "profit_report",
     "profit_volume_report",
+    "record_from_event",
     "records_by_platform",
     "sensitivity_figure",
     "sort_months",

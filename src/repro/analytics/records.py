@@ -6,18 +6,29 @@ same crawl against the simulated chain: it filters the liquidation event
 signatures of the four protocols, normalises each into a
 :class:`LiquidationRecord` valued at the oracle price of the settlement
 block, and exposes the resulting list to every downstream analysis.
+
+The per-event normalisers (:func:`fixed_spread_record`,
+:func:`auction_record`, :func:`record_from_event`) are shared with the
+streaming path: the engine's observer bus translates freshly mined chain
+logs through the same functions, so the records a
+:class:`~repro.observers.probes.LiquidationRecorder` streams during the run
+are field-for-field identical to this post-hoc crawl (proven by test).
+Both paths produce records in emission order — ``(block, log index)`` —
+which the final stable sort by block number preserves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..chain.chain import Blockchain
 from ..chain.events import EventLog
 from ..oracle.chainlink import PriceOracle
-from ..simulation.engine import SimulationResult
 from .common import FIXED_SPREAD_LIQUIDATION_EVENTS, month_of_block
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports observers)
+    from ..simulation.engine import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -51,7 +62,8 @@ class LiquidationRecord:
         return self.profit_usd >= 0.0
 
 
-def _fixed_spread_record(chain: Blockchain, event: EventLog) -> LiquidationRecord:
+def fixed_spread_record(chain: Blockchain, event: EventLog) -> LiquidationRecord:
+    """Normalise one fixed-spread liquidation event log."""
     data = event.data
     return LiquidationRecord(
         platform=data["platform"],
@@ -69,7 +81,14 @@ def _fixed_spread_record(chain: Blockchain, event: EventLog) -> LiquidationRecor
     )
 
 
-def _auction_record(chain: Blockchain, oracle: PriceOracle, event: EventLog) -> LiquidationRecord | None:
+def auction_record(chain: Blockchain, oracle: PriceOracle, event: EventLog) -> LiquidationRecord | None:
+    """Normalise one MakerDAO ``Deal`` event log.
+
+    The valuation reads the oracle *at the settlement block*; because posted
+    price history is append-only with increasing block numbers, the result is
+    the same whether the event is normalised as it settles (streaming) or
+    after the run (post-hoc crawl).
+    """
     data = event.data
     if not data.get("winner"):
         # Auctions that expired without a single bid return the collateral to
@@ -96,16 +115,34 @@ def _auction_record(chain: Blockchain, oracle: PriceOracle, event: EventLog) -> 
     )
 
 
-def extract_liquidations(result: SimulationResult) -> list[LiquidationRecord]:
-    """Crawl the chain's event logs and normalise every settled liquidation."""
+def record_from_event(
+    chain: Blockchain, oracle: PriceOracle, event: EventLog
+) -> LiquidationRecord | None:
+    """Normalise any chain log into a liquidation record, if it is one.
+
+    Returns ``None`` for non-liquidation signatures and for winnerless
+    auction deals.  This is the single normalisation point shared by the
+    post-hoc crawl and the engine's streaming translation.
+    """
+    if event.name in FIXED_SPREAD_LIQUIDATION_EVENTS:
+        return fixed_spread_record(chain, event)
+    if event.name == "Deal":
+        return auction_record(chain, oracle, event)
+    return None
+
+
+def extract_liquidations(result: "SimulationResult") -> list[LiquidationRecord]:
+    """Crawl the chain's event logs and normalise every settled liquidation.
+
+    One pass in emission order — ``(block number, log index)`` — so the
+    resulting list is exactly what a :class:`LiquidationRecorder` probe
+    streamed during the run.
+    """
     chain = result.chain
     oracle = result.oracle
     records: list[LiquidationRecord] = []
-    for name in FIXED_SPREAD_LIQUIDATION_EVENTS:
-        for event in chain.events.by_name(name):
-            records.append(_fixed_spread_record(chain, event))
-    for event in chain.events.by_name("Deal"):
-        record = _auction_record(chain, oracle, event)
+    for event in chain.events:
+        record = record_from_event(chain, oracle, event)
         if record is not None:
             records.append(record)
     records.sort(key=lambda record: record.block_number)

@@ -21,6 +21,8 @@ from typing import Callable
 
 from ..chain.types import reset_id_counters
 from ..experiments.runner import run_json
+from ..observers.probes import LiquidationRecorder, MetricsAccumulator
+from ..serialize import to_jsonable
 from .spec import CampaignSpec, RunSpec
 from .store import RunStore
 
@@ -85,6 +87,14 @@ def execute_job(job: RunJob) -> RunOutcome:
     reset_id_counters()
     try:
         builder = job.run.builder()
+        # Stream the liquidation records and the per-step aggregates while
+        # the world advances instead of re-crawling the finished chain:
+        # run_json reads result.records straight off the recorder probe and
+        # the manifest persists the accumulator's metrics.
+        builder.with_probes(
+            lambda engine: LiquidationRecorder(),
+            lambda engine: MetricsAccumulator(),
+        )
         result = builder.run()
         outputs = run_json(result, job.experiments)
         elapsed = time.perf_counter() - started
@@ -94,6 +104,7 @@ def execute_job(job: RunJob) -> RunOutcome:
             outputs,
             config_summary=builder.config.describe(),
             elapsed_seconds=elapsed,
+            metrics=to_jsonable(result.metrics),
         )
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return RunOutcome(

@@ -123,6 +123,7 @@ class RunStore:
         *,
         config_summary: dict | None = None,
         elapsed_seconds: float | None = None,
+        metrics: dict | None = None,
     ) -> Path:
         """Persist one completed run: experiment files first, manifest last.
 
@@ -155,5 +156,8 @@ class RunStore:
         }
         if elapsed_seconds is not None:
             manifest["elapsed_seconds"] = round(elapsed_seconds, 3)
+        if metrics is not None:
+            # Streamed per-run aggregates (the MetricsAccumulator contract).
+            manifest["metrics"] = metrics
         manifest_path.write_text(_dump(manifest), encoding="utf-8")
         return directory

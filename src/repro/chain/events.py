@@ -132,6 +132,16 @@ class EventStore:
         """Return every event with signature ``name``."""
         return list(self._by_name.get(name, []))
 
+    def since(self, offset: int) -> list[EventLog]:
+        """Events appended at or after position ``offset``, in emission order.
+
+        The store is append-only, so ``since(cursor)`` followed by
+        ``cursor = len(store)`` is a complete, gap-free streaming read —
+        this is how the engine translates fresh logs into typed
+        :class:`~repro.observers.events.SimEvent` s after each stride.
+        """
+        return self._events[offset:]
+
     def names(self) -> set[str]:
         """Return the set of distinct event signatures seen so far."""
         return set(self._by_name)

@@ -6,18 +6,22 @@ subsystem::
     python -m repro list --tag fast --json        # scenario table
     python -m repro reports                       # report ids
     python -m repro run --scenario march-2020-only --seed 7 --report table1
+    python -m repro watch march-2020-only --hf-below 1.1 --follow
     python -m repro sweep --scenario march-2020-only --seeds 8 --workers 4
     python -m repro compare
 
 ``run`` builds one scenario through
 :class:`~repro.scenarios.ScenarioBuilder`, simulates it, and renders the
-requested table/figure reports to stdout (or ``--output``).  ``sweep`` fans
-a multi-seed campaign out over a worker pool, persisting every run to the
-on-disk store (``runs/`` by default) so re-running the same sweep resumes
-instead of re-simulating; ``compare`` renders cross-seed statistics (mean /
-stddev / 95 % CI per scalar field) from the store.  Progress lines go to
-stderr so reports stay pipeable.  Installed via ``pip install -e .`` the
-same interface is available as the ``repro`` console script.
+requested table/figure reports to stdout (or ``--output``).  ``watch`` is
+the live monitoring loop: it streams at-risk positions, settled
+liquidations and fired incidents to stdout while the world advances
+(optionally teeing the full typed event stream to ``--jsonl``).  ``sweep``
+fans a multi-seed campaign out over a worker pool, persisting every run to
+the on-disk store (``runs/`` by default) so re-running the same sweep
+resumes instead of re-simulating; ``compare`` renders cross-seed statistics
+(mean / stddev / 95 % CI per scalar field) from the store.  Progress lines
+go to stderr so reports stay pipeable.  Installed via ``pip install -e .``
+the same interface is available as the ``repro`` console script.
 """
 
 from __future__ import annotations
@@ -29,7 +33,6 @@ import time
 from typing import Sequence
 
 from . import scenarios
-from .analytics.records import extract_liquidations
 from .experiments.runner import EXPERIMENT_IDS, EXPERIMENTS, render_all, run_all, run_one
 
 
@@ -57,6 +60,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--end-block", type=int, default=None, help="truncate the simulated window")
     run_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
     run_parser.add_argument("--output", default=None, metavar="FILE", help="write the report to FILE instead of stdout")
+
+    watch_parser = sub.add_parser(
+        "watch", help="live-monitor a scenario: stream at-risk positions and liquidations"
+    )
+    watch_parser.add_argument("scenario", nargs="?", default="small", help="registered scenario name")
+    watch_parser.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
+    watch_parser.add_argument(
+        "--hf-below",
+        type=float,
+        default=1.05,
+        metavar="HF",
+        help="alert when a position's health factor drops below HF (default: 1.05)",
+    )
+    watch_parser.add_argument(
+        "--follow", action="store_true", help="also print one progress line per block stride"
+    )
+    watch_parser.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="FILE",
+        help="tee the full typed event stream as JSON lines to FILE ('-' for stdout)",
+    )
+    watch_parser.add_argument("--end-block", type=int, default=None, help="truncate the simulated window")
+    watch_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
 
     list_parser = sub.add_parser("list", help="list registered scenarios")
     list_parser.add_argument("--tag", default=None, help="only scenarios carrying this tag")
@@ -204,11 +231,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if run_everything:
         text = render_all(run_all(result))
     else:
-        records = extract_liquidations(result)
+        records = result.records
         sections = [run_one(result, report_id, records).report for report_id in report_ids]
         text = "\n\n".join(sections) + "\n"
 
     _emit(text, args.output)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .observers.watch import watch_run
+
+    try:
+        definition = scenarios.get(args.scenario)
+    except scenarios.UnknownScenarioError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    builder = definition.builder(args.seed)
+    if args.end_block is not None or args.blocks_per_step is not None:
+        builder.with_window(end_block=args.end_block, blocks_per_step=args.blocks_per_step)
+    config = builder.config
+    _status(
+        f"watching {definition.name!r} (seed {config.seed}): "
+        f"blocks {config.start_block:,} – {config.end_block:,}, "
+        f"alerting below HF {args.hf_below}"
+    )
+    jsonl = sys.stdout if args.jsonl == "-" else args.jsonl
+    # With the JSON stream on stdout, narration moves to stderr so the
+    # advertised jq-able stream stays valid JSONL.
+    emit = _status if jsonl is sys.stdout else print
+    started = time.perf_counter()
+    summary = watch_run(
+        builder,
+        hf_below=args.hf_below,
+        follow=args.follow,
+        jsonl=jsonl,
+        emit=emit,
+    )
+    streamed = (
+        f", {summary.events_streamed} events streamed to {args.jsonl}"
+        if summary.events_streamed is not None
+        else ""
+    )
+    _status(
+        f"watch finished at block {summary.result.final_block:,} in "
+        f"{time.perf_counter() - started:.1f}s: {summary.alerts} at-risk alerts, "
+        f"{summary.liquidations} liquidations{streamed}"
+    )
     return 0
 
 
@@ -333,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "reports":

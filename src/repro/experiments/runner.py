@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..analytics.records import LiquidationRecord, extract_liquidations
+from ..analytics.records import LiquidationRecord
 from ..serialize import to_jsonable
 from ..simulation.config import ScenarioConfig
 from ..simulation.engine import SimulationResult
@@ -197,7 +197,9 @@ def run_one(
     """Execute a single experiment harness against ``result``.
 
     ``records`` (the normalised liquidation records) may be passed in to
-    avoid re-extracting them per experiment.
+    avoid re-reading them per experiment; by default ``result.records`` is
+    used — streamed by the run's :class:`LiquidationRecorder` probe when one
+    was attached, crawled post-hoc otherwise.
     """
     try:
         spec = EXPERIMENTS[experiment_id]
@@ -206,7 +208,7 @@ def run_one(
             f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENT_IDS)}"
         ) from None
     if records is None:
-        records = extract_liquidations(result)
+        records = result.records
     data = spec.compute(result, records)
     return ExperimentOutput(
         experiment_id=spec.experiment_id,
@@ -218,7 +220,7 @@ def run_one(
 
 def run_all(result: SimulationResult) -> dict[str, ExperimentOutput]:
     """Execute every experiment harness against ``result``."""
-    records = extract_liquidations(result)
+    records = result.records
     return {
         experiment_id: run_one(result, experiment_id, records)
         for experiment_id in EXPERIMENT_IDS
@@ -235,7 +237,7 @@ def run_json(
     JSON-round-trippable plain Python.
     """
     ids = EXPERIMENT_IDS if experiment_ids is None else tuple(experiment_ids)
-    records = extract_liquidations(result)
+    records = result.records
     return {
         experiment_id: run_one(result, experiment_id, records).json_payload()
         for experiment_id in ids

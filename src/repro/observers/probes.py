@@ -1,0 +1,290 @@
+"""Built-in analytics probes for the observer bus.
+
+Each probe consumes the engine's typed :class:`~repro.observers.events.SimEvent`
+stream incrementally, replacing a post-hoc crawl of the finished chain:
+
+* :class:`LiquidationRecorder` — streams the exact
+  :class:`~repro.analytics.records.LiquidationRecord` list that
+  :func:`~repro.analytics.records.extract_liquidations` would crawl after the
+  run (field-for-field equal, proven by test);
+* :class:`HealthFactorWatcher` — the real-time monitoring loop: tracks which
+  asset prices moved this stride and rescans only the protocols whose
+  columnar :class:`~repro.core.position_book.PositionBook` holds a
+  price-dirtied column, alerting on positions whose health factor drops
+  below a threshold;
+* :class:`MetricsAccumulator` — incremental per-step aggregates (liquidation
+  counts and USD totals, blocks, incidents, price updates…) that campaign
+  workers persist without re-crawling the chain.
+
+Probes are passive: they read engine state but never mutate the world or
+consume engine RNG streams, so seed-pinned runs with probes attached stay
+bit-identical to bare runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..analytics.records import LiquidationRecord
+from .events import (
+    AuctionDealt,
+    BlockMined,
+    IncidentFired,
+    InterestAccrued,
+    LiquidationSettled,
+    PriceUpdated,
+    SimEvent,
+    SnapshotTaken,
+    StepStarted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..protocols.base import LendingProtocol
+    from ..simulation.engine import SimulationResult
+
+
+class LiquidationRecorder:
+    """Streams the normalised liquidation records as they settle.
+
+    After :meth:`finalize`, :attr:`records` equals
+    ``extract_liquidations(result)`` exactly — same records, same order —
+    because both paths share the per-event normalisers of
+    :mod:`repro.analytics.records` and both order by emission
+    ``(block, log index)``.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LiquidationRecord] = []
+
+    @property
+    def records(self) -> list[LiquidationRecord]:
+        """The records streamed so far (a copy, safe to mutate)."""
+        return list(self._records)
+
+    def on_event(self, event: SimEvent) -> None:
+        if isinstance(event, LiquidationSettled):
+            self._records.append(event.record)
+
+    def finalize(self) -> None:
+        # Mirror extract_liquidations' stable sort; the stream already
+        # arrives in block order, so this is an identity pass.
+        self._records.sort(key=lambda record: record.block_number)
+
+
+@dataclass(frozen=True)
+class AtRiskAlert:
+    """One position crossing below the watch threshold."""
+
+    step_index: int
+    block_number: int
+    platform: str
+    owner: str
+    health_factor: float
+    debt_usd: float
+
+
+class HealthFactorWatcher:
+    """Alerts on positions whose health factor drops below a threshold.
+
+    The watcher collects the symbols whose oracle price changed during the
+    stride (:class:`PriceUpdated` events) and, once the stride's block is
+    mined, rescans *only* the protocols whose position book carries one of
+    those price-dirtied asset columns.  Prices are not the only thing that
+    moves health factors: interest accrual scales debts without touching an
+    oracle, so an :class:`InterestAccrued` stride marks the accruing
+    protocols dirty wholesale.  A scan is two matrix-vector products over
+    the columnar book, so watching a whole multi-protocol world stays cheap
+    even at production position counts.
+
+    ``on_alert`` (if given) is called live for every position *entering* the
+    at-risk set; positions already below the threshold do not re-alert until
+    they recover above it first.
+    """
+
+    def __init__(
+        self,
+        protocols: Iterable["LendingProtocol"],
+        hf_below: float = 1.05,
+        on_alert: Callable[[AtRiskAlert], None] | None = None,
+    ) -> None:
+        self.protocols = list(protocols)
+        self.hf_below = float(hf_below)
+        self.on_alert = on_alert
+        self.alerts: list[AtRiskAlert] = []
+        self._at_risk: set[tuple[str, str]] = set()
+        self._dirty_symbols: set[str] = set()
+        self._accrued_protocols: set[str] = set()
+
+    @property
+    def at_risk(self) -> frozenset[tuple[str, str]]:
+        """The ``(platform, owner)`` pairs currently below the threshold."""
+        return frozenset(self._at_risk)
+
+    def on_event(self, event: SimEvent) -> None:
+        if isinstance(event, PriceUpdated):
+            self._dirty_symbols.add(event.symbol.upper())
+        elif isinstance(event, InterestAccrued):
+            self._accrued_protocols.update(event.protocols)
+        elif isinstance(event, BlockMined):
+            self._rescan(event)
+
+    def _rescan(self, event: BlockMined) -> None:
+        if not self._dirty_symbols and not self._accrued_protocols:
+            return
+        dirty = self._dirty_symbols
+        accrued = self._accrued_protocols
+        self._dirty_symbols = set()
+        self._accrued_protocols = set()
+        for protocol in self.protocols:
+            if protocol.name not in accrued and not dirty.intersection(protocol.book.assets):
+                continue
+            scan = protocol.book_scan()
+            health = scan.health_factors()
+            current: set[tuple[str, str]] = set()
+            for row in (health < self.hf_below).nonzero()[0]:
+                row = int(row)
+                position = scan.book.position_at(row)
+                key = (protocol.name, position.owner.value)
+                current.add(key)
+                if key in self._at_risk:
+                    continue
+                alert = AtRiskAlert(
+                    step_index=event.step_index,
+                    block_number=event.block_number,
+                    platform=protocol.name,
+                    owner=position.owner.value,
+                    health_factor=float(health[row]),
+                    debt_usd=float(scan.debt_usd[row]),
+                )
+                self.alerts.append(alert)
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+            # Recovered positions leave the set so a relapse re-alerts.
+            self._at_risk = {
+                key for key in self._at_risk if key[0] != protocol.name
+            } | current
+
+    def finalize(self) -> None:
+        """Nothing to seal; alerts were delivered live."""
+
+
+class MetricsAccumulator:
+    """Incremental per-step aggregates of one run.
+
+    The resulting :attr:`metrics` dict is what campaign workers persist into
+    the run manifest, replacing a post-hoc re-crawl.  For a completed run
+    without this probe, :func:`run_metrics` computes the same aggregates
+    from the archive (the ``price_updates`` count is the one field the
+    post-hoc shim cannot scope to the run: it counts every posted
+    ``AnswerUpdated`` log, including scenario-construction posts).
+    """
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.blocks = 0
+        self.final_block = 0
+        self.incidents_fired = 0
+        self.price_updates = 0
+        self.snapshots = 0
+        self.auctions_dealt = 0
+        self.auctions_settled = 0
+        self._liquidations = _LiquidationTally()
+
+    def on_event(self, event: SimEvent) -> None:
+        if isinstance(event, StepStarted):
+            self.steps += 1
+        elif isinstance(event, BlockMined):
+            self.blocks += 1
+            self.final_block = event.block_number
+        elif isinstance(event, LiquidationSettled):
+            self._liquidations.add(event.record)
+        elif isinstance(event, AuctionDealt):
+            self.auctions_dealt += 1
+            if event.winner is not None:
+                self.auctions_settled += 1
+        elif isinstance(event, PriceUpdated):
+            self.price_updates += 1
+        elif isinstance(event, IncidentFired):
+            self.incidents_fired += 1
+        elif isinstance(event, SnapshotTaken):
+            self.snapshots += 1
+
+    def finalize(self) -> None:
+        """Nothing to seal; the aggregates are maintained incrementally."""
+
+    @property
+    def metrics(self) -> dict:
+        """The aggregates as a JSON-ready dict (the campaign-store contract)."""
+        return {
+            "steps": self.steps,
+            "blocks": self.blocks,
+            "final_block": self.final_block,
+            "incidents_fired": self.incidents_fired,
+            "price_updates": self.price_updates,
+            "snapshots": self.snapshots,
+            "auctions": {"dealt": self.auctions_dealt, "settled": self.auctions_settled},
+            "liquidations": self._liquidations.as_dict(),
+        }
+
+
+class _LiquidationTally:
+    """Shared liquidation aggregates of the streamed and post-hoc metrics."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.repaid_usd = 0.0
+        self.collateral_usd = 0.0
+        self.profit_usd = 0.0
+        self.flash_loans = 0
+        self.unprofitable = 0
+        self.by_platform: dict[str, int] = {}
+
+    def add(self, record: LiquidationRecord) -> None:
+        self.count += 1
+        self.repaid_usd += record.repaid_usd
+        self.collateral_usd += record.collateral_usd
+        self.profit_usd += record.profit_usd
+        if record.used_flash_loan:
+            self.flash_loans += 1
+        if not record.is_profitable:
+            self.unprofitable += 1
+        self.by_platform[record.platform] = self.by_platform.get(record.platform, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "repaid_usd": self.repaid_usd,
+            "collateral_usd": self.collateral_usd,
+            "profit_usd": self.profit_usd,
+            "flash_loans": self.flash_loans,
+            "unprofitable": self.unprofitable,
+            "by_platform": dict(sorted(self.by_platform.items())),
+        }
+
+
+def run_metrics(result: "SimulationResult") -> dict:
+    """Post-hoc shim: the :class:`MetricsAccumulator` aggregates from a
+    finished run's archive.
+
+    Matches the streamed metrics field-for-field on a fresh single-``run()``
+    engine, except ``price_updates`` (see :class:`MetricsAccumulator`).
+    """
+    engine = result.engine
+    tally = _LiquidationTally()
+    for record in result.records:
+        tally.add(record)
+    deals = result.chain.events.by_name("Deal")
+    return {
+        "steps": engine.step_index,
+        "blocks": len(result.chain.blocks),
+        "final_block": result.final_block,
+        "incidents_fired": sum(1 for event in engine.scheduled_events if event.fired),
+        "price_updates": len(result.chain.events.by_name("AnswerUpdated")),
+        "snapshots": len(result.chain.snapshot_blocks),
+        "auctions": {
+            "dealt": len(deals),
+            "settled": sum(1 for deal in deals if deal.data.get("winner")),
+        },
+        "liquidations": tally.as_dict(),
+    }

@@ -1,0 +1,120 @@
+"""The live monitoring loop behind ``python -m repro watch``.
+
+This is the ``liquidation-alerter`` workload from the ROADMAP: build a
+scenario, attach streaming probes, and narrate the run as it advances —
+at-risk positions the moment their health factor crosses below the watch
+threshold, liquidations and auction deals the moment they settle, incidents
+as they fire.  The loop drives the ordinary :meth:`SimulationEngine.run`,
+so a watched run is bit-identical to a bare one; all output comes from
+passive probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, TYPE_CHECKING, Callable
+
+from .events import (
+    AuctionDealt,
+    IncidentFired,
+    LiquidationSettled,
+    SimEvent,
+    StepStarted,
+)
+from .probes import AtRiskAlert, HealthFactorWatcher, LiquidationRecorder, MetricsAccumulator
+from .sinks import JsonlSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.builder import ScenarioBuilder
+    from ..simulation.engine import SimulationResult
+
+
+@dataclass
+class WatchSummary:
+    """What one watch run produced, for the caller's closing report."""
+
+    result: "SimulationResult"
+    liquidations: int
+    alerts: int
+    events_streamed: int | None  # None when no JSONL sink was attached
+
+
+class _ConsoleNarrator:
+    """A probe that formats the stream into human-readable alert lines."""
+
+    def __init__(self, emit: Callable[[str], None], follow: bool) -> None:
+        self.emit = emit
+        self.follow = follow
+
+    def on_event(self, event: SimEvent) -> None:
+        if isinstance(event, LiquidationSettled):
+            record = event.record
+            flash = " (flash loan)" if record.used_flash_loan else ""
+            self.emit(
+                f"[block {record.block_number:>10,}] LIQUIDATED  {record.platform:<9} "
+                f"{record.borrower}: repaid {record.repaid_usd:,.0f} USD {record.debt_symbol}, "
+                f"seized {record.collateral_usd:,.0f} USD {record.collateral_symbol}, "
+                f"profit {record.profit_usd:,.0f} USD [{record.mechanism}]{flash}"
+            )
+        elif isinstance(event, AuctionDealt):
+            outcome = f"won by {event.winner}" if event.winner else "expired without a bid"
+            self.emit(
+                f"[block {event.block_number:>10,}] AUCTION     MakerDAO auction "
+                f"#{event.auction_id} ({event.collateral_symbol}) {outcome}"
+            )
+        elif isinstance(event, IncidentFired):
+            self.emit(f"[block {event.block_number:>10,}] INCIDENT    {event.name}")
+        elif self.follow and isinstance(event, StepStarted):
+            self.emit(f"[block {event.block_number:>10,}] step {event.step_index}")
+
+    def finalize(self) -> None:
+        """Nothing to seal; lines were emitted live."""
+
+
+def watch_run(
+    builder: "ScenarioBuilder",
+    *,
+    hf_below: float = 1.05,
+    follow: bool = False,
+    jsonl: "str | IO[str] | None" = None,
+    emit: Callable[[str], None] = print,
+) -> WatchSummary:
+    """Run ``builder``'s scenario while streaming alerts through ``emit``.
+
+    Parameters
+    ----------
+    hf_below:
+        At-risk threshold: a position alerts when its health factor drops
+        below this value (1.0 means "already liquidatable").
+    follow:
+        Also emit one progress line per block stride.
+    jsonl:
+        Optional path or text handle receiving the full typed event stream
+        as JSON lines.
+    emit:
+        Line consumer for the human-readable narration (defaults to
+        ``print``).
+    """
+    engine = builder.build()
+
+    def alert(entry: AtRiskAlert) -> None:
+        emit(
+            f"[block {entry.block_number:>10,}] AT RISK     {entry.platform:<9} "
+            f"{entry.owner}: HF {entry.health_factor:.4f}, debt {entry.debt_usd:,.0f} USD"
+        )
+
+    recorder = engine.attach_probe(LiquidationRecorder())
+    watcher = engine.attach_probe(
+        HealthFactorWatcher(engine.protocols, hf_below=hf_below, on_alert=alert)
+    )
+    engine.attach_probe(MetricsAccumulator())
+    sink = engine.attach_probe(JsonlSink(jsonl)) if jsonl is not None else None
+    engine.attach_probe(_ConsoleNarrator(emit, follow))
+
+    result = engine.run()
+    return WatchSummary(
+        result=result,
+        liquidations=len(recorder.records),
+        alerts=len(watcher.alerts),
+        events_streamed=sink.events_written if sink is not None else None,
+    )

@@ -56,6 +56,11 @@ class PriceOracle:
         self._history: dict[str, list[tuple[int, float]]] = {}
         self._overrides: dict[str, float] = {}
         self._last_update_block: dict[str, int] = {}
+        #: The ``(symbol, posted_price)`` pairs of the most recent
+        #: :meth:`update_from_feed` call.  The engine's observer bus reads
+        #: this to publish ``PriceUpdated`` events without re-querying each
+        #: symbol's price on the hot path.
+        self.last_updates: list[tuple[str, float]] = []
 
     # ------------------------------------------------------------------ #
     # Posting
@@ -76,12 +81,14 @@ class PriceOracle:
     def update_from_feed(self, block_number: int | None = None) -> list[str]:
         """Post fresh prices for every symbol whose policy triggers an update.
 
-        Returns the list of symbols that were updated.  Overridden symbols
-        (see :meth:`set_override`) keep their override until cleared,
-        modelling a stuck or manipulated reporter.
+        Returns the list of symbols that were updated (the posted
+        ``(symbol, price)`` pairs are kept on :attr:`last_updates`).
+        Overridden symbols (see :meth:`set_override`) keep their override
+        until cleared, modelling a stuck or manipulated reporter.
         """
         block = self.chain.current_block if block_number is None else block_number
         updated: list[str] = []
+        updates: list[tuple[str, float]] = []
         for symbol in self.feed.symbols():
             market_price = self.feed.price(symbol, block)
             if symbol in self._overrides:
@@ -100,6 +107,8 @@ class PriceOracle:
             if needs_update:
                 self.post_price(symbol, posted, block)
                 updated.append(symbol)
+                updates.append((symbol, float(posted)))
+        self.last_updates = updates
         return updated
 
     def set_override(self, symbol: str, price: float) -> None:

@@ -9,10 +9,12 @@ discounted collateral, settled within a single transaction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from ..chain.transaction import TransactionReverted
 from ..chain.types import Address
 from ..core.fixed_spread import FixedSpreadQuote, LiquidationError, apply_liquidation, quote_liquidation
+from ..core.position import Position
 from .base import LendingProtocol, ProtocolError
 
 
@@ -138,18 +140,64 @@ class FixedSpreadProtocol(LendingProtocol):
 
         Picks the largest (debt, collateral) pair, caps the repayment at the
         close factor and previews the call; returns ``None`` when there is
-        nothing (or nothing valid) to liquidate.  This is the per-candidate
-        step the opportunity scan runs after the columnar health-factor pass.
+        nothing (or nothing valid) to liquidate.  For many candidates at
+        once prefer :meth:`quote_opportunities`, which shares one oracle
+        sweep across the whole batch.
         """
-        pair = self.best_liquidation_pair(borrower)
-        if pair is None:
+        return self._quote_best(
+            self.position_of(borrower), self.prices(), self.liquidation_thresholds()
+        )
+
+    def quote_opportunities(
+        self, positions: Iterable[Position]
+    ) -> list[tuple[Position, FixedSpreadQuote]]:
+        """Batched :meth:`quote_best_opportunity` over candidate positions.
+
+        Fetches ``prices()`` / ``liquidation_thresholds()`` once and reuses
+        them for every candidate — prices cannot move within a block stride,
+        so the result is exactly the per-candidate quotes, minus the
+        repeated oracle sweeps that dominate post-crash strides when
+        hundreds of rows are flagged.  Candidates with nothing (or nothing
+        valid) to liquidate are dropped.
+        """
+        positions = list(positions)
+        if not positions:
+            return []
+        prices = self.prices()
+        thresholds = self.liquidation_thresholds()
+        quoted: list[tuple[Position, FixedSpreadQuote]] = []
+        for position in positions:
+            quote = self._quote_best(position, prices, thresholds)
+            if quote is not None:
+                quoted.append((position, quote))
+        return quoted
+
+    def _quote_best(
+        self,
+        position: Position,
+        prices: Mapping[str, float],
+        thresholds: Mapping[str, float],
+    ) -> FixedSpreadQuote | None:
+        """The shared single-candidate quote against pre-fetched prices."""
+        debt_values = position.debt_values(prices)
+        collateral_values = position.collateral_values(prices)
+        if not debt_values or not collateral_values:
             return None
-        debt_symbol, collateral_symbol = pair
-        repay_amount = self.max_repay_amount(borrower, debt_symbol)
+        debt_symbol = max(debt_values, key=debt_values.get)
+        collateral_symbol = max(collateral_values, key=collateral_values.get)
+        repay_amount = position.debt.get(debt_symbol, 0.0) * self.close_factor
         if repay_amount <= 0:
             return None
         try:
-            return self.quote_liquidation_call(borrower, debt_symbol, collateral_symbol, repay_amount)
+            return quote_liquidation(
+                position,
+                debt_symbol,
+                collateral_symbol,
+                repay_amount,
+                self.params_for(collateral_symbol),
+                prices,
+                thresholds,
+            )
         except LiquidationError:
             return None
 

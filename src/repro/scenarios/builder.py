@@ -440,6 +440,7 @@ class ScenarioBuilder:
         self._population_factory: Callable[[BuildContext, SimulationEngine], None] = default_population
         self._extra_agent_factories: list[Callable[[BuildContext, SimulationEngine], None]] = []
         self._extra_events: list[tuple[int, str, Callable[[SimulationEngine], None]]] = []
+        self._probe_factories: list[Callable[[SimulationEngine], object]] = []
 
     # -------------------------------------------------------------- #
     # Configuration
@@ -605,6 +606,24 @@ class ScenarioBuilder:
         self._extra_agent_factories.append(factory)
         return self
 
+    def with_probes(self, *factories: Callable[[SimulationEngine], object]) -> "ScenarioBuilder":
+        """Pre-register observer probes attached to every built engine.
+
+        Each factory is called with the freshly assembled engine and must
+        return a :class:`~repro.observers.bus.Probe`
+        (``engine -> probe``), e.g.::
+
+            builder.with_probes(
+                lambda engine: LiquidationRecorder(),
+                lambda engine: HealthFactorWatcher(engine.protocols, hf_below=1.1),
+            )
+
+        Factories (rather than instances) keep the builder reusable: every
+        ``build()`` gets fresh, unshared probe state.
+        """
+        self._probe_factories.extend(factories)
+        return self
+
     # -------------------------------------------------------------- #
     # Assembly
     # -------------------------------------------------------------- #
@@ -645,6 +664,8 @@ class ScenarioBuilder:
         self._population_factory(ctx, engine)
         for factory in self._extra_agent_factories:
             factory(ctx, engine)
+        for probe_factory in self._probe_factories:
+            engine.attach_probe(probe_factory(engine))
         return engine
 
     def run(self, n_steps: int | None = None) -> SimulationResult:

@@ -18,6 +18,15 @@ them step by step.  One step corresponds to ``blocks_per_step`` real blocks:
 The resulting chain (events, receipts, snapshots) is what the analytics
 package consumes — exactly the artefacts the paper's measurement pipeline
 reads from its archive node.
+
+Consumers no longer have to wait for the archive: the engine carries an
+:class:`~repro.observers.bus.ObserverBus` publishing typed
+:class:`~repro.observers.events.SimEvent` s at every step phase
+(``StepStarted`` → ``IncidentFired``/``PriceUpdated``/``SnapshotTaken`` →
+``AuctionDealt``/``LiquidationSettled`` → ``BlockMined``), so probes stream
+liquidations, health-factor alerts and per-step aggregates while the world
+advances.  With no probes attached the bus is inert — events are not even
+constructed — and probe-attached runs are bit-identical to bare runs.
 """
 
 from __future__ import annotations
@@ -33,6 +42,8 @@ from ..chain.transaction import TxKind
 from ..chain.types import Address, make_address
 from ..core.position import Position
 from ..flashloan.pool import FlashLoanProvider
+from ..observers import events as sim_events
+from ..observers.bus import ObserverBus, Probe
 from ..oracle.chainlink import PriceOracle
 from ..oracle.feed import PriceFeed
 from ..protocols.base import LendingProtocol
@@ -69,9 +80,65 @@ class ScheduledEvent:
 
 @dataclass
 class SimulationResult:
-    """Handle to everything an analytics pass needs after a run."""
+    """Handle to everything an analytics pass needs after a run.
+
+    The normalised liquidation records and the per-run aggregates are
+    exposed as :attr:`records` and :attr:`metrics`.  Both prefer the
+    streaming probes when they were attached (zero extra work at read time)
+    and fall back to the legacy post-hoc crawl of the archive otherwise, so
+    every existing caller keeps working unchanged.
+    """
 
     engine: "SimulationEngine"
+    _records_cache: "list | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def records(self) -> list:
+        """The run's normalised :class:`~repro.analytics.records.LiquidationRecord` s.
+
+        Backed by the attached :class:`~repro.observers.probes.LiquidationRecorder`
+        when one streamed the run; otherwise the legacy
+        :func:`~repro.analytics.records.extract_liquidations` crawl runs once
+        and is cached.  Both paths yield field-for-field identical lists.
+        """
+        if self._records_cache is None:
+            # Imported lazily: the analytics package imports this module.
+            from ..analytics.records import extract_liquidations
+            from ..observers.probes import LiquidationRecorder
+
+            recorder = self._complete_probe(LiquidationRecorder)
+            if recorder is not None:
+                self._records_cache = recorder.records
+            else:
+                self._records_cache = extract_liquidations(self)
+        return self._records_cache
+
+    def _complete_probe(self, probe_type: type):
+        """The first attached probe of ``probe_type`` that saw the full run.
+
+        A probe attached after the streaming cursor advanced (because an
+        earlier probe was already consuming the stream) holds partial state
+        and must not substitute for the post-hoc crawl.
+        """
+        for probe in self.engine.bus.probes:
+            if isinstance(probe, probe_type) and self.engine.probe_is_complete(probe):
+                return probe
+        return None
+
+    @property
+    def metrics(self) -> dict:
+        """Per-run aggregates (counts, USD totals, blocks, incidents…).
+
+        Backed by the attached :class:`~repro.observers.probes.MetricsAccumulator`
+        when one streamed the run; otherwise recomputed from the archive via
+        :func:`~repro.observers.probes.run_metrics`.
+        """
+        from ..observers.probes import MetricsAccumulator, run_metrics
+
+        accumulator = self._complete_probe(MetricsAccumulator)
+        if accumulator is not None:
+            return accumulator.metrics
+        return run_metrics(self)
 
     @property
     def chain(self) -> Blockchain:
@@ -137,8 +204,19 @@ class SimulationEngine:
         #: ``"scalar"`` keeps the legacy per-position sweep.  Both backends
         #: produce bit-identical runs (see ``tests/test_scan_equivalence.py``).
         self.scan_backend: str = "vectorized"
+        #: The typed event stream.  Attach probes with :meth:`attach_probe`;
+        #: with none attached every emission site is skipped entirely.
+        self.bus = ObserverBus()
         self.step_index = 0
         self.rng = np.random.default_rng(config.seed + 104729)
+        #: Streaming cursor into the chain's append-only event store: chain
+        #: logs past this offset have not yet been translated into typed
+        #: events.  Starting at zero means a probe attached before the first
+        #: step also sees liquidations from any pre-run setup transactions,
+        #: keeping the streamed records equal to the post-hoc crawl.
+        self._event_cursor = 0
+        self._record_normalizers: tuple | None = None
+        self._complete_probes: list[Probe] = []
         self._traffic_address = make_address("background-traffic")
         self._fixed_spread_cache: list[LiquidationOpportunity] | None = None
         self._makerdao_cache: list[Address] | None = None
@@ -158,6 +236,29 @@ class SimulationEngine:
     def schedule(self, block: int, name: str, action: Callable[["SimulationEngine"], None]) -> None:
         """Register a one-shot scenario event."""
         self.scheduled_events.append(ScheduledEvent(block=block, name=name, action=action))
+
+    def attach_probe(self, probe: Probe) -> Probe:
+        """Attach an observer probe to the event bus and return it.
+
+        Probes receive every :class:`~repro.observers.events.SimEvent` from
+        the next step phase on.  They must be passive (no world mutation, no
+        engine-RNG consumption) so instrumented runs stay bit-identical.
+
+        A probe attached before the first step (and before any earlier probe
+        consumed chain logs) is *complete*: it observes the run's entire
+        event stream, and :attr:`SimulationResult.records` /
+        :attr:`SimulationResult.metrics` may be backed by it.  A probe
+        attached later has missed events — it still receives the backlog of
+        liquidation logs through the streaming cursor, but it is never used
+        as a substitute for the post-hoc crawl.
+        """
+        if self._event_cursor == 0 and self.step_index == 0:
+            self._complete_probes.append(probe)
+        return self.bus.attach(probe)
+
+    def probe_is_complete(self, probe: Probe) -> bool:
+        """Whether ``probe`` has observed the run's entire event history."""
+        return probe in self._complete_probes
 
     def protocol(self, name: str) -> LendingProtocol:
         """Look up a protocol by name (O(1) on cache hits).
@@ -236,10 +337,11 @@ class SimulationEngine:
         for protocol in self.fixed_spread_protocols():
             if not self.is_active(protocol):
                 continue
-            for position in self._liquidatable_candidates(protocol):
-                quote = protocol.quote_best_opportunity(position.owner)
-                if quote is None:
-                    continue
+            # One batched quote pass: a single prices/thresholds fetch is
+            # shared across every flagged candidate (prices cannot move
+            # within a step), instead of three oracle sweeps per candidate.
+            candidates = self._liquidatable_candidates(protocol)
+            for position, quote in protocol.quote_opportunities(candidates):
                 opportunities.append(
                     LiquidationOpportunity(
                         protocol=protocol,
@@ -274,6 +376,13 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def step(self):
         """Advance the world by one block stride and return the mined block."""
+        bus = self.bus if self.bus.active else None
+        if bus:
+            bus.emit(
+                sim_events.StepStarted(
+                    step_index=self.step_index, block_number=self.chain.current_block
+                )
+            )
         self._fire_scheduled_events()
         self._update_oracles()
         self._periodic_maintenance()
@@ -283,17 +392,61 @@ class SimulationEngine:
         for agent in self.agents:
             agent.act(self)
         block = self.chain.mine_block()
+        if bus:
+            self._stream_chain_events(bus)
+            bus.emit(
+                sim_events.BlockMined(
+                    step_index=self.step_index,
+                    block_number=block.number,
+                    n_receipts=len(block.receipts),
+                    gas_used=block.gas_used,
+                    base_gas_price_wei=block.base_gas_price,
+                )
+            )
         self.step_index += 1
         return block
 
     def run(self, n_steps: int | None = None) -> SimulationResult:
         """Run until the configured end block (or for ``n_steps`` strides)."""
         remaining = n_steps if n_steps is not None else self.config.n_steps
+        bus = self.bus if self.bus.active else None
+        if bus:
+            bus.emit(
+                sim_events.RunStarted(
+                    step_index=self.step_index,
+                    block_number=self.chain.current_block,
+                    n_steps=remaining,
+                    end_block=self.config.end_block,
+                )
+            )
         for _ in range(remaining):
             if self.chain.current_block > self.config.end_block:
                 break
             self.step()
-        self.chain.take_snapshot()
+        bus = self.bus if self.bus.active else None  # probes may attach mid-run
+        # Final archive capture — unless the pending block is already
+        # snapshotted (periodic snapshotting hit it, or a previous run()
+        # call ended here), in which case re-capturing is pure waste.
+        snapshot_blocks = self.chain.snapshot_blocks
+        if not snapshot_blocks or snapshot_blocks[-1] != self.chain.current_block:
+            self.chain.take_snapshot()
+            if bus:
+                bus.emit(
+                    sim_events.SnapshotTaken(
+                        step_index=self.step_index, block_number=self.chain.current_block
+                    )
+                )
+        if bus:
+            bus.emit(
+                sim_events.RunCompleted(
+                    step_index=self.step_index,
+                    block_number=self.chain.current_block,
+                    final_block=self.chain.latest_block.number
+                    if self.chain.latest_block
+                    else self.chain.current_block,
+                )
+            )
+            bus.finalize()
         return SimulationResult(engine=self)
 
     # ------------------------------------------------------------------ #
@@ -319,24 +472,127 @@ class SimulationEngine:
                     continue
                 event.fired = True
                 event.action(self)
+                if self.bus.active:
+                    self.bus.emit(
+                        sim_events.IncidentFired(
+                            step_index=self.step_index,
+                            block_number=self.chain.current_block,
+                            name=event.name,
+                            scheduled_block=event.block,
+                        )
+                    )
 
     def _update_oracles(self) -> None:
+        bus = self.bus if self.bus.active else None
         self.oracle.update_from_feed()
+        if bus:
+            self._emit_price_updates(bus, self.oracle)
         for oracle in self.protocol_oracles.values():
             if oracle is not self.oracle:
                 oracle.update_from_feed()
+                if bus:
+                    self._emit_price_updates(bus, oracle)
+
+    def _emit_price_updates(self, bus: ObserverBus, oracle: PriceOracle) -> None:
+        # Hot path: dozens of updates per stride.  The oracle keeps the
+        # posted pairs on ``last_updates``, and positional construction
+        # (fields: step_index, block_number, oracle, symbol, price) avoids
+        # per-symbol price re-queries — both are what keep the active bus
+        # inside its <5 % overhead budget.
+        step_index = self.step_index
+        block = self.chain.current_block
+        name = oracle.config.name
+        emit = bus.emit
+        for symbol, price in oracle.last_updates:
+            emit(sim_events.PriceUpdated(step_index, block, name, symbol, price))
 
     def _periodic_maintenance(self) -> None:
         if self.step_index % self.config.interest_accrual_every_steps == 0:
+            accrued = []
             for protocol in self.protocols:
                 if self.is_active(protocol):
                     protocol.accrue_interest()
+                    accrued.append(protocol.name)
+            if accrued and self.bus.active:
+                self.bus.emit(
+                    sim_events.InterestAccrued(
+                        step_index=self.step_index,
+                        block_number=self.chain.current_block,
+                        protocols=tuple(accrued),
+                    )
+                )
         dydx = self.dydx
         if dydx is not None and self.step_index % self.config.insurance_writeoff_every_steps == 0:
             if self.is_active(dydx):
                 dydx.write_off_bad_debt()
         if self.config.snapshot_every_steps and self.step_index % self.config.snapshot_every_steps == 0:
             self.chain.take_snapshot()
+            if self.bus.active:
+                self.bus.emit(
+                    sim_events.SnapshotTaken(
+                        step_index=self.step_index, block_number=self.chain.current_block
+                    )
+                )
+
+    def _stream_chain_events(self, bus: ObserverBus) -> None:
+        """Translate freshly appended chain logs into typed events.
+
+        Runs after the stride is mined: every liquidation-bearing log past
+        the streaming cursor becomes an :class:`AuctionDealt` and/or a
+        :class:`LiquidationSettled` carrying the same normalised record the
+        post-hoc crawl would produce.  With no probe attached the cursor
+        simply lags; the first active drain then catches up, so probes
+        attached mid-run still see the full liquidation history.
+        """
+        normalizers = self._record_normalizers
+        if normalizers is None:
+            # Imported lazily (the analytics package imports this module)
+            # and cached: the drain runs on every observed stride.
+            from ..analytics.common import FIXED_SPREAD_LIQUIDATION_EVENTS
+            from ..analytics.records import auction_record, fixed_spread_record
+
+            normalizers = self._record_normalizers = (
+                frozenset(FIXED_SPREAD_LIQUIDATION_EVENTS),
+                fixed_spread_record,
+                auction_record,
+            )
+        fixed_spread_names, fixed_spread_record, auction_record = normalizers
+
+        store = self.chain.events
+        logs = store.since(self._event_cursor)
+        self._event_cursor = len(store)
+        for log in logs:
+            if log.name in fixed_spread_names:
+                bus.emit(
+                    sim_events.LiquidationSettled(
+                        step_index=self.step_index,
+                        block_number=log.block_number,
+                        record=fixed_spread_record(self.chain, log),
+                    )
+                )
+            elif log.name == "Deal":
+                data = log.data
+                bus.emit(
+                    sim_events.AuctionDealt(
+                        step_index=self.step_index,
+                        block_number=log.block_number,
+                        auction_id=data.get("auction_id"),
+                        borrower=data.get("borrower"),
+                        winner=data.get("winner"),
+                        collateral_symbol=data.get("collateral_symbol"),
+                        debt_repaid=data.get("debt_repaid", 0.0),
+                        collateral_won=data.get("collateral_won", 0.0),
+                    )
+                )
+                record = auction_record(self.chain, self.oracle, log)
+                if record is not None:
+                    bus.emit(
+                        sim_events.LiquidationSettled(
+                            step_index=self.step_index,
+                            block_number=log.block_number,
+                            record=record,
+                        )
+                    )
 
     def _submit_background_traffic(self) -> None:
         """Fill blocks with ordinary traffic around the market gas price.
