@@ -1,0 +1,118 @@
+"""Stamp the ``BENCH_*.json`` perf records and merge them into the trajectory.
+
+Every benchmark that runs under ``BENCH_RECORD=1`` leaves one
+``BENCH_<name>.json`` at the repo root (scan, watch, valuation, campaign,
+scenario).  This script — the CI benchmark job's ``bench-trajectory`` step —
+
+1. stamps each record with the commit SHA (``GITHUB_SHA`` or ``git
+   rev-parse HEAD``) and the commit date,
+2. merges the stamped records into ``BENCH_trajectory.json``: a list with
+   one entry per ``(benchmark, commit)``, extending whatever trajectory
+   already exists — the committed seed on a fresh checkout, or the
+   accumulated history the CI job restores from its ``actions/cache``
+   entry — so the perf history keeps growing across commits,
+3. prints the trajectory as a table.
+
+Usage::
+
+    python benchmarks/bench_trajectory.py [--root PATH]
+
+Idempotent: re-running on the same commit replaces that commit's entries
+instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+from datetime import datetime
+from pathlib import Path
+
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def git_output(root: Path, *args: str) -> str:
+    return subprocess.check_output(["git", *args], cwd=root, text=True).strip()
+
+
+def commit_stamp(root: Path) -> tuple[str, str]:
+    """``(sha, iso_date)`` of the commit being measured."""
+    sha = os.environ.get("GITHUB_SHA") or git_output(root, "rev-parse", "HEAD")
+    try:
+        date = git_output(root, "show", "-s", "--format=%cI", sha)
+    except subprocess.CalledProcessError:
+        # A GITHUB_SHA not present locally (e.g. a merge ref): fall back to HEAD.
+        date = git_output(root, "show", "-s", "--format=%cI", "HEAD")
+    return sha, date
+
+
+def load_records(root: Path) -> dict[str, dict]:
+    """The per-benchmark records present at the repo root, keyed by name."""
+    records: dict[str, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_NAME:
+            continue
+        record = json.loads(path.read_text())
+        name = record.get("benchmark", path.stem.removeprefix("BENCH_"))
+        records[name] = record
+    return records
+
+
+def merge_trajectory(root: Path) -> list[dict]:
+    sha, date = commit_stamp(root)
+    trajectory_path = root / TRAJECTORY_NAME
+    entries: list[dict] = []
+    if trajectory_path.exists():
+        entries = json.loads(trajectory_path.read_text())
+    fresh = [
+        {"benchmark": name, "commit": sha, "date": date, "record": record}
+        for name, record in load_records(root).items()
+    ]
+    replaced = {(entry["benchmark"], entry["commit"]) for entry in fresh}
+    entries = [
+        entry for entry in entries if (entry["benchmark"], entry["commit"]) not in replaced
+    ]
+    entries.extend(fresh)
+    # Chronological, not lexicographic: ISO-8601 strings with different
+    # timezone offsets do not sort correctly as text.
+    entries.sort(key=lambda entry: (datetime.fromisoformat(entry["date"]), entry["benchmark"]))
+    trajectory_path.write_text(json.dumps(entries, indent=2) + "\n")
+    return entries
+
+
+def headline(record: dict) -> str:
+    """The one number worth charting for each benchmark."""
+    if "speedup" in record:
+        return f"speedup {record['speedup']:.2f}x"
+    if "overhead_fraction" in record:
+        return f"overhead {record['overhead_fraction'] * 100:.1f}%"
+    if "blocks_per_second" in record:
+        return f"{record['blocks_per_second']:.1f} blocks/s"
+    if "seconds" in record:
+        return f"{record['seconds']:.2f}s"
+    return "-"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=repo_root(), help="repo root to scan")
+    args = parser.parse_args()
+    entries = merge_trajectory(args.root)
+    width = max((len(entry["benchmark"]) for entry in entries), default=9)
+    print(f"{'benchmark':<{width}}  {'commit':<10}  {'date':<25}  headline")
+    for entry in entries:
+        print(
+            f"{entry['benchmark']:<{width}}  {entry['commit'][:10]:<10}  "
+            f"{entry['date']:<25}  {headline(entry['record'])}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,13 +42,27 @@ def platform_unprofitable(
     protocol: FixedSpreadProtocol,
     transaction_fee_usd: float,
 ) -> UnprofitableCell:
-    """Evaluate unprofitable opportunities on one platform snapshot."""
-    prices = protocol.prices()
-    thresholds = protocol.liquidation_thresholds()
+    """Evaluate unprofitable opportunities on one platform snapshot.
+
+    With book aggregates on (the default), the candidate set comes from the
+    block's shared :class:`~repro.core.position_book.BookValuation` margin
+    prefilter instead of a full position walk; every flagged row is still
+    confirmed with the scalar health factor, so the cell is bit-identical
+    to the legacy sweep.
+    """
+    if protocol.uses_book_aggregates():
+        valuation = protocol.valuation()
+        prices = valuation.prices
+        thresholds = valuation.thresholds
+        candidates = valuation.positions(valuation.candidate_rows())
+    else:
+        prices = protocol.prices()
+        thresholds = protocol.liquidation_thresholds()
+        candidates = protocol.positions_with_debt()
     liquidatable = 0
     unprofitable = 0
     unprofitable_collateral = 0.0
-    for position in protocol.positions_with_debt():
+    for position in candidates:
         if not position.is_liquidatable(prices, thresholds):
             continue
         collateral_values = position.collateral_values(prices)

@@ -68,6 +68,24 @@ class BadDebtReport:
         return self.type_i_collateral_usd + self.type_ii_collateral_usd
 
 
+def classify_values(
+    collateral_usd: float,
+    debt_usd: float,
+    transaction_fee_usd: float,
+) -> BadDebtType:
+    """The Type I / Type II classification law on raw position values.
+
+    The single definition shared by :func:`classify_position` and the
+    aggregation cores, so the classification boundary cannot drift between
+    the per-position records and Table 2.
+    """
+    if collateral_usd < debt_usd:
+        return BadDebtType.TYPE_I
+    if collateral_usd - debt_usd < transaction_fee_usd:
+        return BadDebtType.TYPE_II
+    return BadDebtType.HEALTHY
+
+
 def classify_position(
     position: Position,
     prices: Mapping[str, float],
@@ -76,21 +94,53 @@ def classify_position(
     """Classify a single position as healthy / Type I / Type II."""
     collateral_usd = position.total_collateral_usd(prices)
     debt_usd = position.total_debt_usd(prices)
-    excess = collateral_usd - debt_usd
     if not position.has_debt:
         kind = BadDebtType.HEALTHY
-    elif collateral_usd < debt_usd:
-        kind = BadDebtType.TYPE_I
-    elif excess < transaction_fee_usd:
-        kind = BadDebtType.TYPE_II
     else:
-        kind = BadDebtType.HEALTHY
+        kind = classify_values(collateral_usd, debt_usd, transaction_fee_usd)
     return BadDebtRecord(
         owner=position.owner.value,
         kind=kind,
         collateral_usd=collateral_usd,
         debt_usd=debt_usd,
-        excess_collateral_usd=excess,
+        excess_collateral_usd=collateral_usd - debt_usd,
+    )
+
+
+def bad_debt_report_from_values(
+    valued_positions: Iterable[tuple[float, float]],
+    transaction_fee_usd: float,
+) -> BadDebtReport:
+    """Aggregate a bad-debt report from precomputed position values.
+
+    ``valued_positions`` yields ``(collateral_usd, debt_usd)`` for every
+    *indebted* position, in position order.  This is the classification and
+    accumulation core shared by the scalar :func:`bad_debt_report` walk and
+    the book-backed sweep (which feeds the exact per-row values of a
+    :class:`~repro.core.position_book.BookValuation`), so both produce
+    bit-identical reports.
+    """
+    total = 0
+    type_i_count = 0
+    type_i_collateral = 0.0
+    type_ii_count = 0
+    type_ii_collateral = 0.0
+    for collateral_usd, debt_usd in valued_positions:
+        total += 1
+        kind = classify_values(collateral_usd, debt_usd, transaction_fee_usd)
+        if kind is BadDebtType.TYPE_I:
+            type_i_count += 1
+            type_i_collateral += collateral_usd
+        elif kind is BadDebtType.TYPE_II:
+            type_ii_count += 1
+            type_ii_collateral += collateral_usd
+    return BadDebtReport(
+        transaction_fee_usd=transaction_fee_usd,
+        total_positions=total,
+        type_i_count=type_i_count,
+        type_i_collateral_usd=type_i_collateral,
+        type_ii_count=type_ii_count,
+        type_ii_collateral_usd=type_ii_collateral,
     )
 
 
@@ -104,27 +154,11 @@ def bad_debt_report(
     Positions without debt are excluded from the denominator, matching the
     paper's framing of "lending positions".
     """
-    total = 0
-    type_i_count = 0
-    type_i_collateral = 0.0
-    type_ii_count = 0
-    type_ii_collateral = 0.0
-    for position in positions:
-        if not position.has_debt:
-            continue
-        total += 1
-        record = classify_position(position, prices, transaction_fee_usd)
-        if record.kind is BadDebtType.TYPE_I:
-            type_i_count += 1
-            type_i_collateral += record.collateral_usd
-        elif record.kind is BadDebtType.TYPE_II:
-            type_ii_count += 1
-            type_ii_collateral += record.collateral_usd
-    return BadDebtReport(
-        transaction_fee_usd=transaction_fee_usd,
-        total_positions=total,
-        type_i_count=type_i_count,
-        type_i_collateral_usd=type_i_collateral,
-        type_ii_count=type_ii_count,
-        type_ii_collateral_usd=type_ii_collateral,
+    return bad_debt_report_from_values(
+        (
+            (position.total_collateral_usd(prices), position.total_debt_usd(prices))
+            for position in positions
+            if position.has_debt
+        ),
+        transaction_fee_usd,
     )

@@ -26,11 +26,32 @@ wider than the worst-case dot-product rounding) and callers confirm each
 flagged row with the scalar formula.  That keeps vectorized runs
 bit-identical to scalar runs while only paying the scalar cost on the
 handful of flagged rows.
+
+Aggregate valuations (:class:`BookValuation`) extend the same bargain to the
+protocol totals (TVL, outstanding debt, snapshot health factors): the bulk
+of the work is vectorized, and the float-sum-order question is resolved by a
+*pinned* reduction that is bit-identical to the legacy per-position walk by
+construction rather than by margin:
+
+* every per-term product is computed exactly as the scalar path computes it
+  (``amount × price``, then ``value × LT`` — never the re-associated
+  ``amount × (price × LT)`` a fused matrix-vector product would use);
+* a row whose collateral (or debt) has at most two nonzero entries sums
+  identically under *any* summation tree — zeros are exact identities and
+  float addition is commutative — so its vectorized row-sum already equals
+  the scalar dict walk bit-for-bit;
+* the few rows with three or more nonzero entries (where tree order starts
+  to matter) are recomputed with a tight scalar loop mirroring the
+  ``Position`` formulas term-for-term;
+* the cross-position reduction runs left-to-right in row order (positions'
+  creation order, which is exactly the ``positions`` dict iteration order
+  the scalar walk uses).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -46,6 +67,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: ``n_assets × machine-epsilon ≈ 1e-14`` relative, so 1e-9 cannot produce a
 #: false negative.
 SCAN_MARGIN = 1e-9
+
+#: Maximum number of nonzero terms for which *any* floating-point summation
+#: tree is guaranteed bit-identical to the scalar left-to-right dict walk:
+#: adding 0.0 is an exact identity and two-term addition is commutative, so
+#: only rows with three or more nonzero entries can disagree in the last ulp
+#: and need the scalar fixup of :class:`BookValuation`.
+_EXACT_TREE_MAX_NNZ = 2
+
+
 
 
 @dataclass(frozen=True)
@@ -104,6 +134,256 @@ class BookScan:
         return [self.book.position_at(int(row)) for row in rows]
 
 
+class BookValuation:
+    """One aggregate valuation of every position in a book at fixed prices.
+
+    Built by :meth:`PositionBook.valuation` (and cached per block by
+    :meth:`repro.protocols.base.LendingProtocol.valuation`), this is the
+    single vectorized pass behind the protocol totals, snapshots, analytics
+    sweeps and the :class:`~repro.observers.probes.HealthFactorWatcher`.
+
+    Two tiers of results are exposed:
+
+    * the *fast* per-row arrays (:attr:`collateral_usd`, :attr:`debt_usd`,
+      :attr:`borrowing_capacity_usd`, :meth:`health_factors`,
+      :meth:`total_collateral_usd`, …) — pure NumPy reductions, within a few
+      ulps of the scalar formulas; they feed fast paths and probes where a
+      last-ulp difference is irrelevant;
+    * the *pinned* accessors (:meth:`pinned_total_collateral_usd`,
+      :meth:`pinned_total_debt_usd`, :meth:`pinned_health_factors`,
+      :meth:`pinned_row_values`) — bit-identical to the legacy per-position
+      scalar walk by construction (see the module docstring), used for every
+      seed-pinned output: archive snapshots, protocol totals, report JSON.
+
+    The per-term products are computed exactly as the scalar path computes
+    them: ``values = amounts × prices`` elementwise, then capacity terms as
+    ``values × LT`` — deliberately *not* the re-associated
+    ``amounts · (prices ∘ LT)`` matrix-vector product of :class:`BookScan`,
+    whose BLAS kernel may also fuse multiply-adds.
+    """
+
+    def __init__(
+        self,
+        book: "PositionBook",
+        prices: Mapping[str, float],
+        thresholds: Mapping[str, float],
+        collateral_values: np.ndarray,
+        debt_values: np.ndarray,
+    ) -> None:
+        self.book = book
+        #: The price mapping the valuation was computed at (shared, not copied).
+        self.prices = prices
+        #: The liquidation-threshold mapping used for borrowing capacities.
+        self.thresholds = thresholds
+        #: Per-``(row, asset)`` USD collateral values (``amount × price``).
+        self.collateral_values = collateral_values
+        #: Per-``(row, asset)`` USD debt values (``amount × price``).
+        self.debt_values = debt_values
+        lt_vec = np.fromiter(
+            (thresholds.get(symbol, 0.0) for symbol in book.assets),
+            dtype=float,
+            count=len(book.assets),
+        )
+        #: Per-row USD totals (fast tier; exact for rows with ≤ 2 nonzero terms).
+        self.collateral_usd = collateral_values.sum(axis=1)
+        self.debt_usd = debt_values.sum(axis=1)
+        self.borrowing_capacity_usd = (collateral_values * lt_vec).sum(axis=1)
+        self._pinned: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._built_at_revision = book.revision
+
+    def _require_unmutated(self) -> None:
+        """Guard for lazy accessors that read live book state.
+
+        The valuation is a snapshot: its eager arrays were frozen at
+        construction, so a lazy first access after a book mutation would
+        silently mix two states.  Fail loudly instead (already-materialized
+        lazy values keep being served — they were captured while fresh).
+        """
+        if self.book.revision != self._built_at_revision:
+            raise RuntimeError(
+                "positions mutated since this valuation was built; "
+                "request a fresh one (e.g. protocol.valuation())"
+            )
+
+    @cached_property
+    def has_debt(self) -> np.ndarray:
+        """Per-row "owes anything above dust" flags (lazy; guarded)."""
+        self._require_unmutated()
+        return self._amounts_above_dust(self.book._debt)
+
+    @cached_property
+    def has_collateral(self) -> np.ndarray:
+        """Per-row "holds anything above dust" flags (lazy; guarded)."""
+        self._require_unmutated()
+        return self._amounts_above_dust(self.book._collateral)
+
+    @cached_property
+    def ambiguous_collateral_rows(self) -> np.ndarray:
+        """Rows whose collateral summation order could matter (≥ 3 nonzero
+        terms); only these get the collateral-side scalar fixup.  Computed
+        lazily: fast-tier consumers never pay for it."""
+        return np.flatnonzero(
+            np.count_nonzero(self.collateral_values, axis=1) > _EXACT_TREE_MAX_NNZ
+        )
+
+    @cached_property
+    def ambiguous_debt_rows(self) -> np.ndarray:
+        """Rows whose debt summation order could matter (≥ 3 nonzero terms)."""
+        return np.flatnonzero(
+            np.count_nonzero(self.debt_values, axis=1) > _EXACT_TREE_MAX_NNZ
+        )
+
+    @property
+    def ambiguous_rows(self) -> np.ndarray:
+        """Rows needing a scalar fixup on either side (diagnostics)."""
+        return np.union1d(self.ambiguous_collateral_rows, self.ambiguous_debt_rows)
+
+    def _amounts_above_dust(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-row "holds anything above dust" flags from the amount matrix."""
+        n_rows = len(self.book)
+        n_assets = len(self.book.assets)
+        return (matrix[:n_rows, :n_assets] > DUST).any(axis=1)
+
+    def __len__(self) -> int:
+        return self.collateral_usd.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Fast tier: pure NumPy, feeds fast paths and probes
+    # ------------------------------------------------------------------ #
+    def health_factors(self) -> np.ndarray:
+        """Equation 4 per row; ``inf`` where the row owes nothing."""
+        hf = np.full(self.debt_usd.shape, np.inf)
+        np.divide(
+            self.borrowing_capacity_usd,
+            self.debt_usd,
+            out=hf,
+            where=self.debt_usd > 0.0,
+        )
+        return hf
+
+    def total_collateral_usd(self) -> float:
+        """Fast TVL total (within ulps of the scalar walk)."""
+        return float(self.collateral_usd.sum())
+
+    def total_debt_usd(self) -> float:
+        """Fast outstanding-debt total (within ulps of the scalar walk)."""
+        return float(self.debt_usd.sum())
+
+    def total_borrowing_capacity_usd(self) -> float:
+        """Fast aggregate borrowing capacity (within ulps of the scalar walk)."""
+        return float(self.borrowing_capacity_usd.sum())
+
+    def candidate_rows(self, require_collateral: bool = False) -> np.ndarray:
+        """Rows that *may* be liquidatable, margin as in :class:`BookScan`."""
+        mask = (
+            self.has_debt
+            & (self.debt_usd > 0.0)
+            & (self.borrowing_capacity_usd < self.debt_usd * (1.0 + SCAN_MARGIN))
+        )
+        if require_collateral:
+            mask &= self.has_collateral
+        return np.flatnonzero(mask)
+
+    def under_collateralized_rows(self) -> np.ndarray:
+        """Rows that *may* have CR < 1 (Equation 2), margin as above."""
+        mask = (
+            self.has_debt
+            & (self.debt_usd > 0.0)
+            & (self.collateral_usd < self.debt_usd * (1.0 + SCAN_MARGIN))
+        )
+        return np.flatnonzero(mask)
+
+    def positions(self, rows: np.ndarray) -> list["Position"]:
+        """The :class:`Position` objects behind ``rows`` (in row order)."""
+        return [self.book.position_at(int(row)) for row in rows]
+
+    def collateral_value_column(self, symbol: str) -> np.ndarray | None:
+        """Per-row USD value of one collateral asset, or ``None`` if untracked.
+
+        The entries are the exact ``amount × price`` products of the scalar
+        ``Position.collateral_values`` dictionaries, so selections like
+        "positions holding ℭ" (``column > 0``) match the scalar predicate
+        bit-for-bit.
+        """
+        col = self.book._asset_cols.get(symbol)
+        if col is None:
+            return None
+        return self.collateral_values[:, col]
+
+    # ------------------------------------------------------------------ #
+    # Pinned tier: bit-identical to the scalar walk
+    # ------------------------------------------------------------------ #
+    def _pinned_rows(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row ``(collateral, debt, capacity)`` arrays with the ambiguous
+        rows patched by the scalar fixup (computed lazily, once).
+
+        The fixup reads the live ``Position`` dictionaries while the
+        vectorized arrays were frozen at construction — mixing the two
+        states would silently corrupt the pinned values, so the first
+        pinned access must happen before any further book mutation (later
+        accesses reuse the already-patched arrays and are safe).
+        """
+        if self._pinned is None:
+            self._require_unmutated()
+            collateral = self.collateral_usd.copy()
+            debt = self.debt_usd.copy()
+            capacity = self.borrowing_capacity_usd.copy()
+            prices = self.prices
+            get_threshold = self.thresholds.get
+            positions = self.book._positions
+            # The fixup loops are inlined (no per-row function call): on a
+            # production-sized book a third of the rows can be ambiguous and
+            # this is the pinned tier's hot loop.
+            for row in self.ambiguous_collateral_rows.tolist():
+                collateral_usd = 0.0
+                capacity_usd = 0.0
+                for symbol, amount in positions[row].collateral.items():
+                    value = amount * prices[symbol]
+                    collateral_usd += value
+                    capacity_usd += value * get_threshold(symbol, 0.0)
+                collateral[row] = collateral_usd
+                capacity[row] = capacity_usd
+            for row in self.ambiguous_debt_rows.tolist():
+                debt_usd = 0.0
+                for symbol, amount in positions[row].debt.items():
+                    debt_usd += amount * prices[symbol]
+                debt[row] = debt_usd
+            self._pinned = (collateral, debt, capacity)
+        return self._pinned
+
+    def pinned_row_values(self, row: int) -> tuple[float, float]:
+        """Exact ``(collateral_usd, debt_usd)`` of one row, bit-identical to
+        ``Position.total_collateral_usd`` / ``total_debt_usd``."""
+        collateral, debt, _ = self._pinned_rows()
+        return float(collateral[row]), float(debt[row])
+
+    def pinned_total_collateral_usd(self) -> float:
+        """TVL total, bit-identical to the scalar per-position walk.
+
+        The reduction runs left-to-right over the exact per-row values in
+        row order — the same accumulation chain as
+        ``sum(position.total_collateral_usd(prices) for position in
+        positions.values())``.  The explicit ``0.0`` start (mirrored by the
+        scalar walks) keeps the all-empty-book edge case a float on both
+        backends instead of ``sum``'s int ``0``.
+        """
+        collateral, _, _ = self._pinned_rows()
+        return sum(collateral.tolist(), 0.0)
+
+    def pinned_total_debt_usd(self) -> float:
+        """Outstanding-debt total, bit-identical to the scalar walk."""
+        _, debt, _ = self._pinned_rows()
+        return sum(debt.tolist(), 0.0)
+
+    def pinned_health_factors(self) -> list[float]:
+        """Per-row health factors, bit-identical to
+        ``Position.health_factor`` (``inf`` where the row owes nothing)."""
+        _, debt, capacity = self._pinned_rows()
+        hf = np.full(debt.shape, np.inf)
+        np.divide(capacity, debt, out=hf, where=debt > 0.0)
+        return hf.tolist()
+
+
 class PositionBook:
     """Dense columnar mirror of a protocol's positions.
 
@@ -120,6 +400,7 @@ class PositionBook:
         self._collateral = np.zeros((0, 0))
         self._debt = np.zeros((0, 0))
         self._dirty: set[int] = set()
+        self._revision = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -136,6 +417,14 @@ class PositionBook:
     def dirty_rows(self) -> frozenset[int]:
         """Rows awaiting re-sync (observable for tests and diagnostics)."""
         return frozenset(self._dirty)
+
+    @property
+    def revision(self) -> int:
+        """Monotonic change counter: bumps on every attach, asset
+        registration and position mutation.  Cached valuations keyed on the
+        revision (plus the oracle's price version) are exactly as fresh as a
+        recomputation."""
+        return self._revision
 
     def position_at(self, row: int) -> "Position":
         """The position stored at ``row``."""
@@ -157,6 +446,7 @@ class PositionBook:
             self._asset_cols[symbol] = col
             self._assets.append(symbol)
             self._grow(len(self._positions), len(self._assets))
+            self._revision += 1
         return col
 
     def attach(self, position: "Position") -> int:
@@ -169,11 +459,13 @@ class PositionBook:
         position._book = self
         position._row = row
         self._dirty.add(row)
+        self._revision += 1
         return row
 
     def mark_dirty(self, row: int) -> None:
         """Schedule ``row`` for re-materialization at the next sync."""
         self._dirty.add(row)
+        self._revision += 1
 
     def _grow(self, rows: int, cols: int) -> None:
         cap_rows, cap_cols = self._collateral.shape
@@ -244,3 +536,59 @@ class PositionBook:
             has_debt=(debt > DUST).any(axis=1),
             has_collateral=(collateral > DUST).any(axis=1),
         )
+
+    def valuation(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> BookValuation:
+        """One aggregate :class:`BookValuation` of every position at ``prices``.
+
+        Unlike :meth:`scan`, the per-``(row, asset)`` USD values are
+        materialized (``amounts × prices`` elementwise) so the pinned
+        accessors can be bit-identical to the scalar walk; see
+        :class:`BookValuation`.  Missing prices value an asset at 0 — for
+        the pinned tier the caller must supply a price for every held
+        symbol, exactly as ``Position.collateral_values`` requires.
+        """
+        self.sync()
+        n_rows = len(self._positions)
+        n_assets = len(self._assets)
+        price_vec = np.fromiter(
+            (prices.get(symbol, 0.0) for symbol in self._assets), dtype=float, count=n_assets
+        )
+        return BookValuation(
+            book=self,
+            prices=prices,
+            thresholds=thresholds,
+            collateral_values=self._collateral[:n_rows, :n_assets] * price_vec,
+            debt_values=self._debt[:n_rows, :n_assets] * price_vec,
+        )
+
+    def debt_total(self, symbol: str) -> float:
+        """Total outstanding amount of ``symbol`` debt across every position.
+
+        Bit-identical to ``sum(position.debt.get(symbol, 0.0) for position
+        in positions.values())``: the zero entries of non-holders are exact
+        additive identities, and the nonzero entries are accumulated
+        left-to-right in row (= dict iteration) order.
+        """
+        self.sync()
+        col = self._asset_cols.get(symbol)
+        if col is None:
+            return 0.0
+        column = self._debt[: len(self._positions), col]
+        total = 0.0
+        for amount in column[column != 0.0].tolist():
+            total += amount
+        return total
+
+    def positions_with_debt_entries(self) -> list["Position"]:
+        """Positions whose debt dictionary holds any nonzero amount.
+
+        Used by the interest-accrual sweeps to skip debt-free positions:
+        ``Position.scale_debts`` is a no-op on the skipped rows (an empty
+        debt dict, or one holding only exact zeros), so accrual over this
+        subset mutates exactly the same state as the full-population walk.
+        """
+        self.sync()
+        n_rows = len(self._positions)
+        n_assets = len(self._assets)
+        rows = np.flatnonzero((self._debt[:n_rows, :n_assets] != 0.0).any(axis=1))
+        return [self._positions[row] for row in rows.tolist()]

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
+import numpy as np
+
 from ..analytics.records import LiquidationRecord
 from .events import (
     AuctionDealt,
@@ -93,9 +95,11 @@ class HealthFactorWatcher:
     those price-dirtied asset columns.  Prices are not the only thing that
     moves health factors: interest accrual scales debts without touching an
     oracle, so an :class:`InterestAccrued` stride marks the accruing
-    protocols dirty wholesale.  A scan is two matrix-vector products over
-    the columnar book, so watching a whole multi-protocol world stays cheap
-    even at production position counts.
+    protocols dirty wholesale.  A sweep reads the protocol's cached
+    :class:`~repro.core.position_book.BookValuation` — one vectorized pass
+    per block shared with the snapshot providers and the analytics sweeps —
+    so watching a whole multi-protocol world stays cheap even at production
+    position counts.
 
     ``on_alert`` (if given) is called live for every position *entering* the
     at-risk set; positions already below the threshold do not re-alert until
@@ -139,12 +143,16 @@ class HealthFactorWatcher:
         for protocol in self.protocols:
             if protocol.name not in accrued and not dirty.intersection(protocol.book.assets):
                 continue
-            scan = protocol.book_scan()
-            health = scan.health_factors()
+            # The block's shared aggregate valuation: when the engine also
+            # snapshots or scans this block, the sync + vectorized pass is
+            # paid once and the watcher's sweep rides the cache.  The
+            # flagged rows are read straight from the fast arrays — no
+            # per-row scalar confirmation, alerts are not seed-pinned.
+            valuation = protocol.valuation()
+            health = valuation.health_factors()
             current: set[tuple[str, str]] = set()
-            for row in (health < self.hf_below).nonzero()[0]:
-                row = int(row)
-                position = scan.book.position_at(row)
+            for row in np.flatnonzero(health < self.hf_below).tolist():
+                position = valuation.book.position_at(row)
                 key = (protocol.name, position.owner.value)
                 current.add(key)
                 if key in self._at_risk:
@@ -155,7 +163,7 @@ class HealthFactorWatcher:
                     platform=protocol.name,
                     owner=position.owner.value,
                     health_factor=float(health[row]),
-                    debt_usd=float(scan.debt_usd[row]),
+                    debt_usd=float(valuation.debt_usd[row]),
                 )
                 self.alerts.append(alert)
                 if self.on_alert is not None:

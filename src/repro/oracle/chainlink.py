@@ -61,6 +61,12 @@ class PriceOracle:
         #: this to publish ``PriceUpdated`` events without re-querying each
         #: symbol's price on the hot path.
         self.last_updates: list[tuple[str, float]] = []
+        #: Monotonic post counter: bumps on every :meth:`post_price`.  A
+        #: posted-price query (:meth:`price`) can only change when this
+        #: version changes or — for symbols with no posted history yet,
+        #: which fall back to the market feed — when the block advances, so
+        #: ``(current_block, version)`` keys cached valuations exactly.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Posting
@@ -72,6 +78,7 @@ class PriceOracle:
         history = self._history.setdefault(key, [])
         history.append((block, float(price)))
         self._last_update_block[key] = block
+        self.version += 1
         self.chain.emit_event(
             "AnswerUpdated",
             emitter=self.address,

@@ -15,10 +15,12 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from ..chain.chain import Blockchain
 from ..chain.types import Address, make_address
 from ..core.position import DUST, Position
-from ..core.position_book import BookScan, PositionBook
+from ..core.position_book import BookScan, BookValuation, PositionBook
 from ..core.terminology import LiquidationParams
 from ..oracle.chainlink import PriceOracle
 from ..tokens.registry import TokenRegistry
@@ -78,6 +80,14 @@ class LendingProtocol(abc.ABC):
         self.positions: dict[Address, Position] = {}
         #: Columnar mirror of every position for vectorized health scans.
         self.book = PositionBook()
+        #: ``"vectorized"`` (default) routes aggregate valuations (totals,
+        #: snapshots, utilization, analytics sweeps) through the book's
+        #: :class:`~repro.core.position_book.BookValuation`; ``"scalar"``
+        #: keeps the legacy per-position walks.  Both backends produce
+        #: bit-identical outputs (``tests/test_valuation_equivalence.py``).
+        self.aggregate_backend: str = "vectorized"
+        self._valuation_cache: BookValuation | None = None
+        self._valuation_key: tuple[int, int, int] | None = None
         self.inception_block = chain.current_block if inception_block is None else inception_block
         self._total_borrowed_usd_estimate = 0.0
         self._last_accrual_block = self.chain.current_block
@@ -157,12 +167,58 @@ class LendingProtocol(abc.ABC):
         """One vectorized valuation of every position at current prices."""
         return self.book.scan(self.prices(), self.liquidation_thresholds())
 
+    def uses_book_aggregates(self) -> bool:
+        """Whether aggregate valuations run through the book (the default).
+
+        Raises :class:`ValueError` on an unknown :attr:`aggregate_backend`.
+        """
+        backend = self.aggregate_backend
+        if backend == "vectorized":
+            return True
+        if backend == "scalar":
+            return False
+        raise ValueError(f"unknown aggregate backend {backend!r}")
+
+    def valuation(self) -> BookValuation:
+        """The :class:`BookValuation` of every position at current prices.
+
+        Cached per ``(block, oracle price version, book revision)``: within
+        one block, the snapshot providers, the analytics sweeps and the
+        health-factor watcher all share a single sync + vectorized pass
+        instead of refetching prices and revaluing the book each time.
+        Any position mutation (book revision), posted price (oracle
+        version) or block advance invalidates the cache, so a hit is
+        exactly as fresh as a recomputation.  Market parameters
+        (liquidation thresholds) are fixed at construction time — nothing
+        in the simulation mutates them mid-run.
+        """
+        key = (
+            self.chain.current_block,
+            getattr(self.oracle, "version", 0),
+            self.book.revision,
+        )
+        cached = self._valuation_cache
+        if cached is not None and self._valuation_key == key:
+            return cached
+        valuation = self.book.valuation(self.prices(), self.liquidation_thresholds())
+        # Re-read the revision: the sync inside ``valuation`` may have
+        # registered new asset columns, which bumps it.
+        self._valuation_key = (key[0], key[1], self.book.revision)
+        self._valuation_cache = valuation
+        return valuation
+
     def liquidatable_candidates(self, require_collateral: bool = False) -> list[Position]:
         """Positions with HF < 1, found by the columnar scan.
 
         The book flags candidate rows with a safety margin and each flagged
         row is confirmed with the scalar health factor, so the result is
         exactly the set (and order) a scalar sweep over ``positions`` finds.
+
+        This stays on the lean :class:`BookScan` (two matrix-vector
+        products) rather than the full :meth:`valuation` materialization:
+        the per-stride opportunity scan runs on *every* block, while the
+        aggregate consumers that amortize a shared valuation (snapshots,
+        analytics, the watcher) only run on some.
         """
         prices = self.prices()
         thresholds = self.liquidation_thresholds()
@@ -273,10 +329,19 @@ class LendingProtocol(abc.ABC):
     # Interest
     # ------------------------------------------------------------------ #
     def utilization(self, symbol: str) -> float:
-        """Borrowed share of the pool's liquidity for ``symbol`` (rough estimate)."""
+        """Borrowed share of the pool's liquidity for ``symbol`` (rough estimate).
+
+        The per-symbol outstanding total comes from the book's debt column
+        (bit-identical to the per-position walk — non-holders contribute
+        exact zeros), so the per-market accrual sweep no longer crawls the
+        whole population once per market.
+        """
         token = self.registry.get(symbol)
         available = token.balance_of(self.address)
-        borrowed = sum(position.debt.get(symbol.upper(), 0.0) for position in self.positions.values())
+        if self.uses_book_aggregates():
+            borrowed = self.book.debt_total(symbol.upper())
+        else:
+            borrowed = sum(position.debt.get(symbol.upper(), 0.0) for position in self.positions.values())
         total = available + borrowed
         if total <= 0:
             return 0.0
@@ -292,22 +357,43 @@ class LendingProtocol(abc.ABC):
             symbol: market.interest_model.accrual_factor(self.utilization(symbol), elapsed)
             for symbol, market in self.markets.items()
         }
-        for position in self.positions.values():
+        for position in self._accrual_positions():
             position.scale_debts(factors)
         self._last_accrual_block = block
+
+    def _accrual_positions(self) -> list[Position]:
+        """The positions an accrual sweep must touch.
+
+        With book aggregates on, debt-free positions are skipped via the
+        book's debt columns; ``scale_debts`` is a no-op on every skipped
+        position, so both backends mutate identical state.
+        """
+        if self.uses_book_aggregates():
+            return self.book.positions_with_debt_entries()
+        return list(self.positions.values())
 
     # ------------------------------------------------------------------ #
     # Aggregates and snapshots
     # ------------------------------------------------------------------ #
     def total_collateral_usd(self) -> float:
-        """Total USD value of collateral locked in the protocol."""
+        """Total USD value of collateral locked in the protocol.
+
+        Book-backed (one vectorized pass, pinned reduction) by default;
+        bit-identical to the legacy per-position walk either way.
+        """
+        if self.uses_book_aggregates():
+            return self.valuation().pinned_total_collateral_usd()
         prices = self.prices()
-        return sum(position.total_collateral_usd(prices) for position in self.positions.values())
+        # The 0.0 start keeps the all-empty edge a float, matching the
+        # pinned reduction's JSON token (sum alone would return int 0).
+        return sum((position.total_collateral_usd(prices) for position in self.positions.values()), 0.0)
 
     def total_debt_usd(self) -> float:
-        """Total USD value of outstanding debt."""
+        """Total USD value of outstanding debt (book-backed by default)."""
+        if self.uses_book_aggregates():
+            return self.valuation().pinned_total_debt_usd()
         prices = self.prices()
-        return sum(position.total_debt_usd(prices) for position in self.positions.values())
+        return sum((position.total_debt_usd(prices) for position in self.positions.values()), 0.0)
 
     def collateral_volume_usd(self, symbols: Iterable[str] | None = None) -> float:
         """USD value of collateral, optionally restricted to ``symbols``."""
@@ -322,24 +408,49 @@ class LendingProtocol(abc.ABC):
         return total
 
     def snapshot(self) -> dict[str, object]:
-        """Archive snapshot of positions and aggregates at the current block."""
-        prices = self.prices()
-        thresholds = self.liquidation_thresholds()
+        """Archive snapshot of positions and aggregates at the current block.
+
+        With book aggregates on (the default), the totals and every
+        position's health factor come from one shared
+        :meth:`valuation` — the price vector is fetched once per snapshot
+        instead of once per aggregate — and the pinned accessors keep the
+        archived numbers bit-identical to the scalar walk.
+        """
+        if self.uses_book_aggregates():
+            valuation = self.valuation()
+            prices = valuation.prices
+            thresholds = valuation.thresholds
+            total_collateral = valuation.pinned_total_collateral_usd()
+            total_debt = valuation.pinned_total_debt_usd()
+            health_factors = valuation.pinned_health_factors()
+            open_rows = np.flatnonzero(valuation.has_debt | valuation.has_collateral)
+            valued_positions = [
+                (self.book.position_at(row), health_factors[row]) for row in open_rows.tolist()
+            ]
+        else:
+            prices = self.prices()
+            thresholds = self.liquidation_thresholds()
+            total_collateral = self.total_collateral_usd()
+            total_debt = self.total_debt_usd()
+            valued_positions = [
+                (position, position.health_factor(prices, thresholds))
+                for position in self.open_positions()
+            ]
         return {
             "block": self.chain.current_block,
             "platform": self.name,
             "prices": dict(prices),
             "thresholds": dict(thresholds),
-            "total_collateral_usd": self.total_collateral_usd(),
-            "total_debt_usd": self.total_debt_usd(),
+            "total_collateral_usd": total_collateral,
+            "total_debt_usd": total_debt,
             "positions": [
                 {
                     "owner": position.owner.value,
                     "collateral": dict(position.collateral),
                     "debt": dict(position.debt),
-                    "health_factor": position.health_factor(prices, thresholds),
+                    "health_factor": health_factor,
                 }
-                for position in self.open_positions()
+                for position, health_factor in valued_positions
             ],
         }
 

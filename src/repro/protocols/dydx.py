@@ -83,18 +83,32 @@ class DydxProtocol(FixedSpreadProtocol):
         invokes this periodically, reproducing why "dYdX does not have any
         Type I bad debt at block 12344944" (Section 4.4.2).
         """
-        prices = self.prices()
         written_off = 0.0
-        # The columnar scan flags CR < 1 candidates (with a safety margin);
+        # The columnar book flags CR < 1 candidates (with a safety margin);
         # each is confirmed with the scalar ratio before being written off,
         # so the set matches a scalar sweep over every indebted position.
-        scan = self.book.scan(prices, self.liquidation_thresholds())
-        for row in scan.under_collateralized_rows():
-            position = self.book.position_at(int(row))
+        # With book aggregates on, the candidate pass and the written-off
+        # values come from the block's shared (cached) valuation, whose
+        # pinned per-row values are bit-identical to the scalar formulas.
+        if self.uses_book_aggregates():
+            valuation = self.valuation()
+            prices = valuation.prices
+            rows = valuation.under_collateralized_rows()
+            row_values = valuation.pinned_row_values
+        else:
+            prices = self.prices()
+            scan = self.book.scan(prices, self.liquidation_thresholds())
+            rows = scan.under_collateralized_rows()
+            row_values = None
+        for row in rows.tolist():
+            position = self.book.position_at(row)
             if not position.is_under_collateralized(prices):
                 continue
-            debt_usd = position.total_debt_usd(prices)
-            collateral_usd = position.total_collateral_usd(prices)
+            if row_values is not None:
+                collateral_usd, debt_usd = row_values(row)
+            else:
+                debt_usd = position.total_debt_usd(prices)
+                collateral_usd = position.total_collateral_usd(prices)
             written_off += debt_usd - collateral_usd
             # The fund absorbs the shortfall: debt and collateral are cleared.
             position.clear()

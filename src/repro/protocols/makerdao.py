@@ -163,7 +163,9 @@ class MakerDAOProtocol(LendingProtocol):
             return
         factor = self.stability_fee_model.accrual_factor(0.0, elapsed)
         factors = {"DAI": factor}
-        for position in self.positions.values():
+        # Debt-free vaults are skipped via the book's debt columns (a no-op
+        # for them either way); see LendingProtocol._accrual_positions.
+        for position in self._accrual_positions():
             position.scale_debts(factors)
         self._last_accrual_block = block
 

@@ -204,6 +204,7 @@ class SimulationEngine:
         #: ``"scalar"`` keeps the legacy per-position sweep.  Both backends
         #: produce bit-identical runs (see ``tests/test_scan_equivalence.py``).
         self.scan_backend: str = "vectorized"
+        self._aggregate_backend: str = "vectorized"
         #: The typed event stream.  Attach probes with :meth:`attach_probe`;
         #: with none attached every emission site is skipped entirely.
         self.bus = ObserverBus()
@@ -301,6 +302,35 @@ class SimulationEngine:
     def fixed_spread_protocols(self) -> list[FixedSpreadProtocol]:
         """Protocols using the atomic fixed spread mechanism."""
         return [protocol for protocol in self.protocols if isinstance(protocol, FixedSpreadProtocol)]
+
+    @property
+    def aggregate_backend(self) -> str:
+        """How the protocols compute aggregate valuations (totals,
+        snapshots, utilization, analytics sweeps): ``"vectorized"``
+        (default) routes them through each protocol's columnar book,
+        ``"scalar"`` keeps the legacy per-position walks.  Both backends
+        produce bit-identical runs and reports
+        (``tests/test_valuation_equivalence.py``).  Setting it propagates to
+        every protocol, so analytics over the finished
+        :class:`SimulationResult` follow the same backend.
+        """
+        return self._aggregate_backend
+
+    @aggregate_backend.setter
+    def aggregate_backend(self, backend: str) -> None:
+        self._aggregate_backend = backend
+        self._push_aggregate_backend()
+
+    def _push_aggregate_backend(self) -> None:
+        """Propagate the engine's backend choice to every protocol.
+
+        Called on assignment and again at the start of every :meth:`run`:
+        protocols appended or swapped into ``self.protocols`` after the
+        setter ran would otherwise silently keep their own default while
+        the engine property reports something else.
+        """
+        for protocol in self.protocols:
+            protocol.aggregate_backend = self._aggregate_backend
 
     def is_active(self, protocol: LendingProtocol) -> bool:
         """Whether the chain has reached the protocol's inception block."""
@@ -409,6 +439,7 @@ class SimulationEngine:
     def run(self, n_steps: int | None = None) -> SimulationResult:
         """Run until the configured end block (or for ``n_steps`` strides)."""
         remaining = n_steps if n_steps is not None else self.config.n_steps
+        self._push_aggregate_backend()  # cover protocols swapped in since the setter ran
         bus = self.bus if self.bus.active else None
         if bus:
             bus.emit(

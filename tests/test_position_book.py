@@ -135,6 +135,114 @@ class TestColumnarEqualsScalar:
         assert confirmed == scalar
 
 
+class TestValuationEqualsScalar:
+    """The aggregate :class:`BookValuation` layer against the scalar walk."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(operations=ops, prices=prices_strategy, thresholds=thresholds_strategy)
+    def test_any_interleaving_keeps_totals_equal(self, operations, prices, thresholds):
+        book, positions = build_book()
+        for op, pos_index, sym_index, fraction in operations:
+            apply_op(book, positions[pos_index], op, SYMBOLS[sym_index], fraction)
+        price_map = dict(zip(SYMBOLS, prices))
+        threshold_map = dict(zip(SYMBOLS, thresholds))
+        valuation = book.valuation(price_map, threshold_map)
+
+        scalar_collateral = sum(p.total_collateral_usd(price_map) for p in positions)
+        scalar_debt = sum(p.total_debt_usd(price_map) for p in positions)
+
+        # Fast tier: within 1e-9 of the scalar walk under any interleaving.
+        assert valuation.total_collateral_usd() == pytest.approx(scalar_collateral, rel=1e-9, abs=1e-9)
+        assert valuation.total_debt_usd() == pytest.approx(scalar_debt, rel=1e-9, abs=1e-9)
+        for row, position in enumerate(positions):
+            assert valuation.collateral_usd[row] == pytest.approx(
+                position.total_collateral_usd(price_map), rel=1e-9, abs=1e-9
+            )
+            assert valuation.debt_usd[row] == pytest.approx(
+                position.total_debt_usd(price_map), rel=1e-9, abs=1e-9
+            )
+            assert bool(valuation.has_debt[row]) == position.has_debt
+            assert bool(valuation.has_collateral[row]) == position.has_collateral
+
+        # Pinned tier: bit-identical to the scalar walk, not just close.
+        assert valuation.pinned_total_collateral_usd() == scalar_collateral
+        assert valuation.pinned_total_debt_usd() == scalar_debt
+        health = valuation.pinned_health_factors()
+        for row, position in enumerate(positions):
+            collateral_usd, debt_usd = valuation.pinned_row_values(row)
+            assert collateral_usd == position.total_collateral_usd(price_map)
+            assert debt_usd == position.total_debt_usd(price_map)
+            assert health[row] == position.health_factor(price_map, threshold_map)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations=ops, prices=prices_strategy)
+    def test_debt_total_matches_scalar_walk_bitwise(self, operations, prices):
+        book, positions = build_book()
+        for op, pos_index, sym_index, fraction in operations:
+            apply_op(book, positions[pos_index], op, SYMBOLS[sym_index], fraction)
+        for symbol in SYMBOLS:
+            assert book.debt_total(symbol) == sum(
+                position.debt.get(symbol, 0.0) for position in positions
+            )
+        assert book.debt_total("UNTRACKED") == 0.0
+
+    def test_valuation_candidate_prefilter_matches_scan(self):
+        book, positions = build_book()
+        positions[0].add_collateral("ETH", 1.0)
+        positions[0].add_debt("DAI", 90.0)  # HF < 1 at the prices below
+        positions[1].add_collateral("ETH", 1.0)
+        positions[1].add_debt("DAI", 10.0)  # healthy
+        prices = {"ETH": 100.0, "DAI": 1.0, "WBTC": 1.0, "USDC": 1.0}
+        thresholds = {"ETH": 0.8, "DAI": 0.8, "WBTC": 0.8, "USDC": 0.8}
+        valuation = book.valuation(prices, thresholds)
+        scan = book.scan(prices, thresholds)
+        assert valuation.candidate_rows().tolist() == scan.candidate_rows().tolist()
+        assert valuation.under_collateralized_rows().tolist() == scan.under_collateralized_rows().tolist()
+
+    def test_collateral_value_column_is_exact_products(self):
+        book, positions = build_book(2)
+        positions[0].add_collateral("ETH", 3.0)
+        positions[1].add_debt("ETH", 1.0)
+        prices = {"ETH": 99.9}
+        valuation = book.valuation(prices, {})
+        column = valuation.collateral_value_column("ETH")
+        assert column[0] == 3.0 * 99.9
+        assert column[1] == 0.0
+        assert valuation.collateral_value_column("NOPE") is None
+
+    def test_stale_valuation_refuses_first_pinned_access_after_mutation(self):
+        """The lazy scalar fixup reads live position dicts; mixing them with
+        the frozen arrays would be silent corruption, so a mutated book makes
+        the first pinned access fail loudly instead."""
+        book, positions = build_book(1)
+        positions[0].add_collateral("ETH", 1.0)
+        positions[0].add_collateral("DAI", 1.0)
+        positions[0].add_collateral("WBTC", 1.0)  # 3 nonzero terms: ambiguous
+        prices = dict.fromkeys(SYMBOLS, 2.0)
+        valuation = book.valuation(prices, {})
+        positions[0].add_collateral("ETH", 5.0)
+        with pytest.raises(RuntimeError, match="mutated since"):
+            valuation.pinned_total_collateral_usd()
+        # A valuation whose pinned arrays were already materialized keeps
+        # serving them (the dYdX write-off reads values row-by-row while
+        # clearing earlier rows).
+        fresh = book.valuation(prices, {})
+        before = fresh.pinned_total_collateral_usd()
+        positions[0].clear()
+        assert fresh.pinned_total_collateral_usd() == before
+
+    def test_revision_bumps_on_mutation_and_attach(self):
+        book, positions = build_book(1)
+        before = book.revision
+        positions[0].add_collateral("ETH", 1.0)
+        assert book.revision > before
+        before = book.revision
+        book.sync()
+        assert book.revision == before  # sync is bookkeeping, not a change
+        book.ensure_asset("YFI")
+        assert book.revision > before
+
+
 class TestBookMechanics:
     def test_attach_marks_row_dirty_and_sync_clears(self):
         book, positions = build_book(2)
