@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and helpers for the benchmark harness.
 
 The two-year scenario is simulated once per benchmark session (the
 ``paper-medium`` registry scenario: full study window, reduced agent
@@ -8,14 +8,43 @@ with the paper.
 
 Use ``scenarios.get("paper-full")`` instead of ``paper-medium`` for a
 full-scale run (slower, larger agent population).
+
+Every throughput/overhead benchmark that records a ``BENCH_*.json`` writes
+it through :func:`write_bench_record`, which stamps the host context (CPU
+count, platform, a hostname hash) so trajectory entries from different
+machines are tellable apart without leaking the actual hostname.
 """
 
 from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+from pathlib import Path
 
 import pytest
 
 from repro import scenarios
 from repro.analytics.records import extract_liquidations
+
+
+def host_context() -> dict:
+    """Where a benchmark record was measured (stable within one machine)."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "hostname_sha256": hashlib.sha256(socket.gethostname().encode()).hexdigest()[:12],
+    }
+
+
+def write_bench_record(path: Path | str, record: dict) -> None:
+    """Write one ``BENCH_*.json`` record, stamped with the host context."""
+    stamped = {**record, "host": host_context()}
+    Path(path).write_text(json.dumps(stamped, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,161 @@
+"""Chart the performance trajectory accumulated in ``BENCH_trajectory.json``.
+
+``bench_trajectory.py`` grows one entry per ``(benchmark, commit)``; this
+script turns that history into something a human can read at a glance:
+
+* with matplotlib installed, one PNG per benchmark headline series
+  (``--output DIR``, default ``bench_plots/``);
+* without matplotlib (the default container has none), a Unicode sparkline
+  per benchmark straight to stdout — no dependency needed to see whether a
+  commit moved a headline number.
+
+Usage::
+
+    python benchmarks/plot_trajectory.py [--root PATH] [--output DIR] [--text]
+
+``--text`` forces the sparkline view even when matplotlib is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from datetime import datetime
+from pathlib import Path
+
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+
+#: Headline series per benchmark: ``(record key, label, higher_is_better)``.
+HEADLINES = (
+    ("speedup", "speedup (x)", True),
+    ("overhead_fraction", "overhead (fraction)", False),
+    ("blocks_per_second", "blocks/s", True),
+    ("seconds", "seconds", False),
+)
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def headline_of(record: dict) -> tuple[str, float, bool] | None:
+    """``(label, value, higher_is_better)`` for one benchmark record."""
+    for key, label, higher_is_better in HEADLINES:
+        if key in record:
+            return label, float(record[key]), higher_is_better
+    return None
+
+
+def load_series(root: Path) -> dict[str, dict]:
+    """Per-benchmark headline series, chronological.
+
+    Returns ``{benchmark: {"label", "higher_is_better", "points"}}`` where
+    ``points`` is a list of ``(date, short_sha, value)``.
+    """
+    path = root / TRAJECTORY_NAME
+    if not path.exists():
+        raise SystemExit(f"no {TRAJECTORY_NAME} under {root}; run bench_trajectory.py first")
+    entries = json.loads(path.read_text())
+    series: dict[str, dict] = {}
+    for entry in entries:
+        headline = headline_of(entry["record"])
+        if headline is None:
+            continue
+        label, value, higher_is_better = headline
+        bucket = series.setdefault(
+            entry["benchmark"],
+            {"label": label, "higher_is_better": higher_is_better, "points": []},
+        )
+        bucket["points"].append(
+            (datetime.fromisoformat(entry["date"]), entry["commit"][:10], value)
+        )
+    for bucket in series.values():
+        bucket["points"].sort(key=lambda point: point[0])
+    return series
+
+
+def sparkline(values: list[float]) -> str:
+    low, high = min(values), max(values)
+    if high == low:
+        return SPARK_CHARS[0] * len(values)
+    scale = (len(SPARK_CHARS) - 1) / (high - low)
+    return "".join(SPARK_CHARS[round((value - low) * scale)] for value in values)
+
+
+def render_text(series: dict[str, dict]) -> str:
+    """The dependency-free trajectory view: one sparkline per benchmark."""
+    lines = []
+    width = max(len(name) for name in series)
+    for name in sorted(series):
+        bucket = series[name]
+        values = [value for _, _, value in bucket["points"]]
+        first, last = values[0], values[-1]
+        arrow = "→"
+        if last != first:
+            improved = (last > first) == bucket["higher_is_better"]
+            arrow = "↑" if improved else "↓"
+        lines.append(
+            f"{name:<{width}}  {sparkline(values)}  "
+            f"{first:.3g} → {last:.3g} {bucket['label']} {arrow} "
+            f"({len(values)} commits)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_png(series: dict[str, dict], output: Path) -> list[Path]:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    output.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in sorted(series):
+        bucket = series[name]
+        dates = [date for date, _, _ in bucket["points"]]
+        values = [value for _, _, value in bucket["points"]]
+        figure, axes = plt.subplots(figsize=(8, 3))
+        axes.plot(dates, values, marker="o")
+        axes.set_title(f"{name} — {bucket['label']}")
+        axes.grid(True, alpha=0.3)
+        figure.autofmt_xdate()
+        path = output / f"trajectory_{name}.png"
+        figure.savefig(path, dpi=120, bbox_inches="tight")
+        plt.close(figure)
+        written.append(path)
+    return written
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=repo_root(), help="repo root to scan")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="PNG output dir (default: <root>/bench_plots)"
+    )
+    parser.add_argument(
+        "--text", action="store_true", help="force the text sparkline view"
+    )
+    args = parser.parse_args()
+    series = load_series(args.root)
+    if not series:
+        print("trajectory holds no chartable headline series")
+        return 0
+
+    use_text = args.text
+    if not use_text:
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            use_text = True
+    if use_text:
+        print(render_text(series), end="")
+        return 0
+    for path in render_png(series, args.output or args.root / "bench_plots"):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,8 @@ import tempfile
 import time
 from pathlib import Path
 
+from conftest import write_bench_record
+
 from repro.campaigns import CampaignExecutor, CampaignSpec, RunStore
 
 SPEC = dict(
@@ -59,7 +61,7 @@ def test_campaign_throughput():
             "speedup": speedup,
             "python": platform.python_version(),
         }
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        write_bench_record(BENCH_PATH, record)
 
     print(
         f"\ncampaign sweep, 4 seeds: serial {serial_seconds:.2f}s, "

@@ -33,6 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import write_bench_record
+
 from repro.chain.chain import Blockchain
 from repro.chain.types import make_address
 from repro.protocols.aave import AAVE_MARKETS, AaveProtocol
@@ -136,7 +138,7 @@ def test_columnar_scan_speedup():
         "numpy": np.__version__,
     }
     if os.environ.get("BENCH_RECORD"):
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        write_bench_record(BENCH_PATH, record)
 
     message = (
         f"columnar scan only {speedup:.1f}x faster than scalar "

@@ -17,6 +17,8 @@ import platform
 import time
 from pathlib import Path
 
+from conftest import write_bench_record
+
 from repro.scenarios import ScenarioBuilder
 from repro.simulation.config import ScenarioConfig
 
@@ -43,6 +45,6 @@ def test_scenario_throughput():
             "blocks_per_second": blocks / seconds,
             "python": platform.python_version(),
         }
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        write_bench_record(BENCH_PATH, record)
 
     print(f"\nscenario window: {blocks} blocks in {seconds:.2f}s ({blocks / seconds:.1f} blocks/s)")

@@ -33,6 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import write_bench_record
+
 from test_scan_throughput import CHURN_FRACTION, N_POSITIONS, ROUNDS, build_world, churn
 
 SPEEDUP_FLOOR = 3.0
@@ -101,7 +103,7 @@ def test_book_valuation_speedup():
         "numpy": np.__version__,
     }
     if os.environ.get("BENCH_RECORD"):
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        write_bench_record(BENCH_PATH, record)
 
     message = (
         f"book valuation only {speedup:.1f}x faster than the scalar walk "

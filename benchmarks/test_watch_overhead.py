@@ -30,6 +30,8 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import write_bench_record
+
 from repro import scenarios
 from repro.chain.types import reset_id_counters
 
@@ -108,7 +110,7 @@ def test_observer_bus_overhead():
         "numpy": np.__version__,
     }
     if os.environ.get("BENCH_RECORD"):
-        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        write_bench_record(BENCH_PATH, record)
 
     message = (
         f"observer bus adds {overhead * 100:.1f}% overhead "

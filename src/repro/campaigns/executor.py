@@ -15,7 +15,9 @@ byte-identical per-run files.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +25,8 @@ from ..chain.types import reset_id_counters
 from ..experiments.runner import run_json
 from ..observers.probes import LiquidationRecorder, MetricsAccumulator
 from ..serialize import to_jsonable
+from ..telemetry import runtime as telemetry_runtime
+from ..telemetry.runtime import Telemetry, span
 from .spec import CampaignSpec, RunSpec
 from .store import RunStore
 
@@ -44,6 +48,7 @@ class RunJob:
     campaign: str
     run: RunSpec
     experiments: tuple[str, ...]
+    collect_telemetry: bool = True
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,13 @@ class RunOutcome:
     run_id: str
     elapsed_seconds: float
     error: str | None = None
+    #: The per-run telemetry digest (also persisted into the manifest), or
+    #: ``None`` when telemetry collection was off or the run failed early.
+    telemetry: dict | None = None
+
+    @property
+    def worker(self) -> str | None:
+        return (self.telemetry or {}).get("worker")
 
 
 @dataclass
@@ -65,10 +77,52 @@ class CampaignResult:
     resumed: list[str] = field(default_factory=list)
     failed: dict[str, str] = field(default_factory=dict)  # run_id -> error
     elapsed_seconds: float = 0.0
+    #: Per-worker utilisation aggregated from run telemetry:
+    #: ``worker -> {"tasks", "busy_seconds", "idle_seconds"}``.
+    workers: dict[str, dict] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
         return len(self.executed) + len(self.resumed) + len(self.failed)
+
+
+#: Per-process worker state, keyed once per interpreter.  Pool workers are
+#: long-lived across tasks, so ``last_end`` carries from one task to the
+#: next and the gap is genuine idle time (waiting on the parent's dispatch).
+_WORKER_STATE: dict[str, float | int] = {}
+
+
+def _worker_begin() -> tuple[str, int, float]:
+    """Mark task start; returns ``(worker_name, task_index, idle_seconds)``."""
+    now = time.perf_counter()
+    if not _WORKER_STATE:
+        _WORKER_STATE["last_end"] = now
+        _WORKER_STATE["tasks"] = 0
+    idle = now - float(_WORKER_STATE["last_end"])
+    _WORKER_STATE["tasks"] = int(_WORKER_STATE["tasks"]) + 1
+    return multiprocessing.current_process().name, int(_WORKER_STATE["tasks"]), idle
+
+
+def _worker_end() -> None:
+    _WORKER_STATE["last_end"] = time.perf_counter()
+
+
+def _valuation_cache_stats(snapshot: dict[str, float]) -> dict:
+    """Warm-cache hit rate from the ``repro_valuation_cache_total`` series."""
+    hits = builds = 0.0
+    for series, value in snapshot.items():
+        if not series.startswith("repro_valuation_cache_total{"):
+            continue
+        if 'outcome="hit"' in series:
+            hits += value
+        elif 'outcome="build"' in series:
+            builds += value
+    total = hits + builds
+    return {
+        "hits": int(hits),
+        "builds": int(builds),
+        "hit_rate": round(hits / total, 4) if total else None,
+    }
 
 
 def execute_job(job: RunJob) -> RunOutcome:
@@ -77,7 +131,16 @@ def execute_job(job: RunJob) -> RunOutcome:
     Failures are captured and reported back as the outcome's ``error``
     instead of raised, so one pathological run cannot abort a campaign (the
     other workers' completed runs are already durable in the store).
+
+    When ``job.collect_telemetry`` is set, the worker installs a
+    :class:`~repro.telemetry.runtime.Telemetry` for the duration of the run
+    and persists a digest into the manifest: per-phase span timings
+    (build / run / reports / persist), result-pickle cost, valuation-cache
+    hit rate, and how long this worker sat idle before picking the task up.
+    Telemetry never touches the simulated world, so the experiment files
+    remain byte-identical with telemetry on or off.
     """
+    worker_name, task_index, idle_seconds = _worker_begin()
     started = time.perf_counter()
     # Address/tx-hash identifiers come from process-wide counters; reset them
     # so a run's identifier sequence is independent of how many runs the
@@ -85,26 +148,49 @@ def execute_job(job: RunJob) -> RunOutcome:
     # byte-identical files.  Each run builds a fresh world, so uniqueness
     # within the run is unaffected.
     reset_id_counters()
+    telemetry = Telemetry(name=job.run.run_id) if job.collect_telemetry else None
+    scope = telemetry_runtime.enabled(telemetry) if telemetry else nullcontext()
     try:
-        builder = job.run.builder()
-        # Stream the liquidation records and the per-step aggregates while
-        # the world advances instead of re-crawling the finished chain:
-        # run_json reads result.records straight off the recorder probe and
-        # the manifest persists the accumulator's metrics.
-        builder.with_probes(
-            lambda engine: LiquidationRecorder(),
-            lambda engine: MetricsAccumulator(),
-        )
-        result = builder.run()
-        outputs = run_json(result, job.experiments)
+        with scope:
+            builder = job.run.builder()
+            # Stream the liquidation records and the per-step aggregates while
+            # the world advances instead of re-crawling the finished chain:
+            # run_json reads result.records straight off the recorder probe and
+            # the manifest persists the accumulator's metrics.
+            builder.with_probes(
+                lambda engine: LiquidationRecorder(),
+                lambda engine: MetricsAccumulator(),
+            )
+            with span("job.build"):
+                engine = builder.build()
+            with span("job.run"):
+                result = engine.run()
+            with span("job.reports"):
+                outputs = run_json(result, job.experiments)
+            store = RunStore(job.store_root)
+            with span("job.persist"):
+                store.write_experiments(job.campaign, job.run, outputs)
+            with span("job.pickle"):
+                # What imap_unordered would pay to ship the run's outputs
+                # across the process boundary (the 0.73× suspect).
+                pickle_bytes = len(pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL))
         elapsed = time.perf_counter() - started
-        RunStore(job.store_root).write_run(
+        digest = _telemetry_digest(
+            telemetry,
+            worker=worker_name,
+            task_index=task_index,
+            idle_seconds=idle_seconds,
+            elapsed_seconds=elapsed,
+            pickle_bytes=pickle_bytes,
+        )
+        store.write_manifest(
             job.campaign,
             job.run,
             outputs,
             config_summary=builder.config.describe(),
             elapsed_seconds=elapsed,
             metrics=to_jsonable(result.metrics),
+            telemetry=digest,
         )
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return RunOutcome(
@@ -112,7 +198,50 @@ def execute_job(job: RunJob) -> RunOutcome:
             elapsed_seconds=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
         )
-    return RunOutcome(run_id=job.run.run_id, elapsed_seconds=elapsed)
+    finally:
+        _worker_end()
+    return RunOutcome(run_id=job.run.run_id, elapsed_seconds=elapsed, telemetry=digest)
+
+
+def _telemetry_digest(
+    telemetry: Telemetry | None,
+    *,
+    worker: str,
+    task_index: int,
+    idle_seconds: float,
+    elapsed_seconds: float,
+    pickle_bytes: int,
+) -> dict | None:
+    """Flatten a run's telemetry into the JSON block the manifest stores."""
+    if telemetry is None:
+        return None
+    summary = telemetry.summary()
+    spans = summary["spans"]
+
+    def seconds(name: str) -> float:
+        return round(spans.get(name, {}).get("total_seconds", 0.0), 4)
+
+    return {
+        "worker": worker,
+        "task_index": task_index,
+        "idle_seconds": round(idle_seconds, 4),
+        "elapsed_seconds": round(elapsed_seconds, 4),
+        "build_seconds": seconds("job.build"),
+        "run_seconds": seconds("job.run"),
+        "reports_seconds": seconds("job.reports"),
+        "persist_seconds": seconds("job.persist"),
+        "pickle_seconds": seconds("job.pickle"),
+        "pickle_bytes": pickle_bytes,
+        "valuation_cache": _valuation_cache_stats(summary["metrics"]),
+        "spans": {
+            name: {
+                "count": stats["count"],
+                "total_seconds": round(stats["total_seconds"], 4),
+                "self_seconds": round(stats["self_seconds"], 4),
+            }
+            for name, stats in spans.items()
+        },
+    }
 
 
 class CampaignExecutor:
@@ -125,11 +254,13 @@ class CampaignExecutor:
         *,
         workers: int = 1,
         progress: ProgressCallback | None = None,
+        telemetry: bool = True,
     ) -> None:
         self.spec = spec
         self.store = store or RunStore()
         self.workers = max(int(workers), 1)
         self.progress = progress
+        self.telemetry = telemetry
 
     def _report(self, done: int, total: int, run_id: str, status: str, elapsed: float) -> None:
         if self.progress is not None:
@@ -141,6 +272,16 @@ class CampaignExecutor:
             result.executed.append(outcome.run_id)
         else:
             result.failed[outcome.run_id] = outcome.error
+        digest = outcome.telemetry
+        if digest is not None:
+            # Per-worker utilisation roll-up: how many tasks each pool worker
+            # took, how long it computed, and how long it waited for dispatch.
+            stats = result.workers.setdefault(
+                digest["worker"], {"tasks": 0, "busy_seconds": 0.0, "idle_seconds": 0.0}
+            )
+            stats["tasks"] += 1
+            stats["busy_seconds"] = round(stats["busy_seconds"] + digest["elapsed_seconds"], 4)
+            stats["idle_seconds"] = round(stats["idle_seconds"] + digest["idle_seconds"], 4)
 
     def execute(self) -> CampaignResult:
         """Run (or resume) the campaign; returns the execution summary."""
@@ -166,6 +307,7 @@ class CampaignExecutor:
                 campaign=campaign,
                 run=run,
                 experiments=self.spec.experiments,
+                collect_telemetry=self.telemetry,
             )
             for run in pending
         ]
@@ -179,6 +321,10 @@ class CampaignExecutor:
                     self._record(result, outcome)
                     self._report(done, total, outcome.run_id, _status_of(outcome), outcome.elapsed_seconds)
         else:
+            # A spawn pool gives every campaign fresh workers; give the serial
+            # path the same contract, or task indices and idle gaps would span
+            # earlier campaigns run in this process.
+            _WORKER_STATE.clear()
             for job in jobs:
                 outcome = execute_job(job)
                 done += 1

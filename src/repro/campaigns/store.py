@@ -115,7 +115,24 @@ class RunStore:
     # -------------------------------------------------------------- #
     # Writing
     # -------------------------------------------------------------- #
-    def write_run(
+    def write_experiments(self, campaign: str, run: RunSpec, outputs: dict[str, dict]) -> Path:
+        """Write the per-experiment files, clearing any previous run image.
+
+        The manifest is removed before anything else, so a crash mid-write
+        can never leave stale experiment files behind a ``"completed"``
+        marker.  Call :meth:`write_manifest` afterwards to seal the run.
+        """
+        directory = self.run_dir(campaign, run.run_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / MANIFEST).unlink(missing_ok=True)
+        for stale in directory.glob("*.json"):
+            stale.unlink()
+        for experiment_id, payload in outputs.items():
+            path = self.experiment_path(campaign, run.run_id, experiment_id)
+            path.write_text(_dump(payload), encoding="utf-8")
+        return directory
+
+    def write_manifest(
         self,
         campaign: str,
         run: RunSpec,
@@ -124,23 +141,10 @@ class RunStore:
         config_summary: dict | None = None,
         elapsed_seconds: float | None = None,
         metrics: dict | None = None,
+        telemetry: dict | None = None,
     ) -> Path:
-        """Persist one completed run: experiment files first, manifest last.
-
-        Any previous contents of the run directory are cleared first — the
-        manifest before anything else, so a crash mid-write can never leave
-        stale experiment files behind a ``"completed"`` marker — keeping the
-        directory an exact image of the run that produced it.
-        """
+        """Write the completion manifest (the durable completion marker)."""
         directory = self.run_dir(campaign, run.run_id)
-        directory.mkdir(parents=True, exist_ok=True)
-        manifest_path = directory / MANIFEST
-        manifest_path.unlink(missing_ok=True)
-        for stale in directory.glob("*.json"):
-            stale.unlink()
-        for experiment_id, payload in outputs.items():
-            path = self.experiment_path(campaign, run.run_id, experiment_id)
-            path.write_text(_dump(payload), encoding="utf-8")
         manifest = {
             "status": "completed",
             "campaign": campaign,
@@ -159,5 +163,36 @@ class RunStore:
         if metrics is not None:
             # Streamed per-run aggregates (the MetricsAccumulator contract).
             manifest["metrics"] = metrics
-        manifest_path.write_text(_dump(manifest), encoding="utf-8")
+        if telemetry is not None:
+            # The worker's per-run telemetry digest: per-phase span timings,
+            # persist/pickle cost, valuation-cache hit rate, idle time.
+            manifest["telemetry"] = telemetry
+        (directory / MANIFEST).write_text(_dump(manifest), encoding="utf-8")
         return directory
+
+    def write_run(
+        self,
+        campaign: str,
+        run: RunSpec,
+        outputs: dict[str, dict],
+        *,
+        config_summary: dict | None = None,
+        elapsed_seconds: float | None = None,
+        metrics: dict | None = None,
+        telemetry: dict | None = None,
+    ) -> Path:
+        """Persist one completed run: experiment files first, manifest last.
+
+        Any previous contents of the run directory are cleared first, keeping
+        the directory an exact image of the run that produced it.
+        """
+        self.write_experiments(campaign, run, outputs)
+        return self.write_manifest(
+            campaign,
+            run,
+            outputs,
+            config_summary=config_summary,
+            elapsed_seconds=elapsed_seconds,
+            metrics=metrics,
+            telemetry=telemetry,
+        )

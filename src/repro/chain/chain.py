@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..telemetry.runtime import span
 from .block import Block
 from .events import EventFilter, EventLog, EventStore
 from .gas import GasMarket
@@ -130,17 +131,22 @@ class Blockchain:
         stride = max(self.config.blocks_per_step, 1)
         base_price = self.gas_market.base_gas_price_wei
         gas_budget = self.config.block_gas_limit * stride
-        selected = self.mempool.select_for_block(
-            gas_budget,
-            self._current_block,
-            min_gas_price=self.gas_market.min_inclusion_gas_price_wei,
-        )
+        # ``chain.pack`` covers the mempool work (expiry sweep + heap pops),
+        # ``chain.execute`` the transaction actions — the two halves of the
+        # per-stride mining cost a trace needs to tell apart.
+        with span("chain.pack"):
+            selected = self.mempool.select_for_block(
+                gas_budget,
+                self._current_block,
+                min_gas_price=self.gas_market.min_inclusion_gas_price_wei,
+            )
         receipts: list[Receipt] = []
         self._executing_block = self._current_block
         self._block_receipts = receipts
-        for tx in selected:
-            receipt = self._execute(tx)
-            receipts.append(receipt)
+        with span("chain.execute"):
+            for tx in selected:
+                receipt = self._execute(tx)
+                receipts.append(receipt)
         self._executing_block = None
         self._block_receipts = None
         block = Block(
@@ -264,7 +270,8 @@ class Blockchain:
     def take_snapshot(self, block_number: int | None = None) -> dict[str, Any]:
         """Capture the registered providers' state, keyed by block number."""
         number = self._current_block if block_number is None else block_number
-        snapshot = {name: provider() for name, provider in self._snapshot_providers.items()}
+        with span("chain.snapshot"):
+            snapshot = {name: provider() for name, provider in self._snapshot_providers.items()}
         self._snapshots[number] = snapshot
         return snapshot
 

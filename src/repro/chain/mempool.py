@@ -29,6 +29,7 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..telemetry import runtime as telemetry
 from .transaction import Transaction, TxStatus
 
 
@@ -138,6 +139,13 @@ class Mempool:
                 swept += 1
                 continue
             break
+        if swept:
+            active = telemetry.active()
+            if active is not None:
+                active.counter(
+                    "repro_mempool_swept_total",
+                    "Expired transactions dropped by the mempool sweep",
+                ).inc(swept)
         return swept
 
     def select_for_block(

@@ -7,6 +7,7 @@ subsystem::
     python -m repro reports                       # report ids
     python -m repro run --scenario march-2020-only --seed 7 --report table1
     python -m repro watch march-2020-only --hf-below 1.1 --follow
+    python -m repro trace march-2020-only --chrome trace.json
     python -m repro sweep --scenario march-2020-only --seeds 8 --workers 4
     python -m repro compare
 
@@ -84,6 +85,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     watch_parser.add_argument("--end-block", type=int, default=None, help="truncate the simulated window")
     watch_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
+    watch_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a live Prometheus /metrics exposition on PORT while watching (0 = ephemeral)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="profile a scenario run: per-phase span timings and a Chrome trace"
+    )
+    trace_parser.add_argument("scenario", nargs="?", default="small", help="registered scenario name")
+    trace_parser.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
+    trace_parser.add_argument("--end-block", type=int, default=None, help="truncate the simulated window")
+    trace_parser.add_argument("--blocks-per-step", type=int, default=None, help="override the engine stride")
+    trace_parser.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="write Chrome trace-event JSON to FILE (load in chrome://tracing or Perfetto)",
+    )
+    trace_parser.add_argument(
+        "--metrics", action="store_true", help="append the Prometheus exposition to the report"
+    )
+    trace_parser.add_argument("--output", default=None, metavar="FILE", help="write the report to FILE")
 
     list_parser = sub.add_parser("list", help="list registered scenarios")
     list_parser.add_argument("--tag", default=None, help="only scenarios carrying this tag")
@@ -262,23 +288,71 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     # advertised jq-able stream stays valid JSONL.
     emit = _status if jsonl is sys.stdout else print
     started = time.perf_counter()
-    summary = watch_run(
-        builder,
-        hf_below=args.hf_below,
-        follow=args.follow,
-        jsonl=jsonl,
-        emit=emit,
-    )
+    try:
+        summary = watch_run(
+            builder,
+            hf_below=args.hf_below,
+            follow=args.follow,
+            jsonl=jsonl,
+            emit=emit,
+            metrics_port=args.metrics_port,
+        )
+    except KeyboardInterrupt:
+        # Interrupted before the engine even started (e.g. during build).
+        _status("watch interrupted")
+        return 0
     streamed = (
         f", {summary.events_streamed} events streamed to {args.jsonl}"
         if summary.events_streamed is not None
         else ""
     )
+    finished = "watch interrupted" if summary.interrupted else "watch finished"
     _status(
-        f"watch finished at block {summary.result.final_block:,} in "
+        f"{finished} at block {summary.result.final_block:,} in "
         f"{time.perf_counter() - started:.1f}s: {summary.alerts} at-risk alerts, "
         f"{summary.liquidations} liquidations{streamed}"
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observers.probes import LiquidationRecorder, MetricsAccumulator
+    from .telemetry import Telemetry, TelemetryProbe, enabled, render_phase_report
+
+    try:
+        definition = scenarios.get(args.scenario)
+    except scenarios.UnknownScenarioError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    builder = definition.builder(args.seed)
+    if args.end_block is not None or args.blocks_per_step is not None:
+        builder.with_window(end_block=args.end_block, blocks_per_step=args.blocks_per_step)
+    config = builder.config
+    _status(
+        f"tracing {definition.name!r} (seed {config.seed}): "
+        f"blocks {config.start_block:,} – {config.end_block:,}, {config.n_steps:,} steps"
+    )
+
+    telemetry = Telemetry(name=definition.name)
+    builder.with_probes(
+        lambda engine: LiquidationRecorder(),
+        lambda engine: MetricsAccumulator(),
+        lambda engine: TelemetryProbe(telemetry.registry),
+    )
+    started = time.perf_counter()
+    with enabled(telemetry):
+        builder.run()
+    wall = time.perf_counter() - started
+    _status(f"simulated in {wall:.1f}s; {len(telemetry.tracer.records)} spans recorded")
+
+    text = render_phase_report(telemetry.tracer.records, wall_seconds=wall)
+    if args.metrics:
+        text += "\n" + telemetry.registry.exposition()
+    _emit(text, args.output)
+    if args.chrome:
+        telemetry.tracer.write_chrome_trace(args.chrome)
+        _status(f"chrome trace written to {args.chrome} (load in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -405,6 +479,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "reports":

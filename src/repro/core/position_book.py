@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from ..telemetry import runtime as telemetry
 from .position import DUST
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -491,6 +492,12 @@ class PositionBook:
         """
         if not self._dirty:
             return 0
+        active = telemetry.active()
+        if active is not None:
+            active.counter(
+                "repro_book_sync_rows_total",
+                "Dirty position rows re-materialized into the columnar book",
+            ).inc(len(self._dirty))
         for row in self._dirty:
             position = self._positions[row]
             for symbol in position.collateral:

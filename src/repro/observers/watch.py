@@ -37,6 +37,13 @@ class WatchSummary:
     liquidations: int
     alerts: int
     events_streamed: int | None  # None when no JSONL sink was attached
+    #: True when the run was cut short (Ctrl-C or a closed output pipe);
+    #: probes were still finalized, so the JSONL stream is flushed and valid.
+    interrupted: bool = False
+    #: Bound metrics port (``--metrics-port``), or ``None`` when not serving.
+    metrics_port: int | None = None
+    #: Final Prometheus exposition text when metrics were served.
+    metrics_exposition: str | None = None
 
 
 class _ConsoleNarrator:
@@ -78,6 +85,7 @@ def watch_run(
     follow: bool = False,
     jsonl: "str | IO[str] | None" = None,
     emit: Callable[[str], None] = print,
+    metrics_port: int | None = None,
 ) -> WatchSummary:
     """Run ``builder``'s scenario while streaming alerts through ``emit``.
 
@@ -94,6 +102,15 @@ def watch_run(
     emit:
         Line consumer for the human-readable narration (defaults to
         ``print``).
+    metrics_port:
+        Serve a live Prometheus exposition of the run on this port while it
+        advances (0 picks a free ephemeral port; the bound port is on the
+        summary).  ``None`` disables the endpoint.
+
+    A ``KeyboardInterrupt`` (or the output pipe closing under the narration)
+    ends the watch early but cleanly: probes are finalized, so a ``--jsonl``
+    stream is flushed and remains valid JSONL, and the summary reports what
+    was seen up to the interrupt with ``interrupted=True``.
     """
     engine = builder.build()
 
@@ -111,10 +128,45 @@ def watch_run(
     sink = engine.attach_probe(JsonlSink(jsonl)) if jsonl is not None else None
     engine.attach_probe(_ConsoleNarrator(emit, follow))
 
-    result = engine.run()
+    server = None
+    registry = None
+    if metrics_port is not None:
+        from ..telemetry import MetricsRegistry, MetricsServer, TelemetryProbe
+
+        registry = MetricsRegistry()
+        engine.attach_probe(TelemetryProbe(registry))
+        server = MetricsServer(registry, port=metrics_port)
+        server.start()
+        bound_port = server.port
+        # Announce up front: with port 0 the ephemeral port is only knowable
+        # now, and scrapers want the URL while the run is still advancing.
+        emit(f"[metrics] serving http://127.0.0.1:{bound_port}/metrics")
+
+    interrupted = False
+    try:
+        result = engine.run()
+    except (KeyboardInterrupt, BrokenPipeError):
+        from ..simulation.engine import SimulationResult
+
+        interrupted = True
+        try:
+            # The engine never reached its own bus.finalize(): seal probes
+            # here so the JSONL sink flushes and closes cleanly.
+            if engine.bus.active:
+                engine.bus.finalize()
+        except (BrokenPipeError, ValueError):
+            pass  # the sink's own handle is the broken pipe; nothing to save
+        result = SimulationResult(engine=engine)
+    finally:
+        if server is not None:
+            server.stop()
+
     return WatchSummary(
         result=result,
         liquidations=len(recorder.records),
         alerts=len(watcher.alerts),
         events_streamed=sink.events_written if sink is not None else None,
+        interrupted=interrupted,
+        metrics_port=bound_port if server is not None else None,
+        metrics_exposition=registry.exposition() if registry is not None else None,
     )

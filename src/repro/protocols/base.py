@@ -23,6 +23,7 @@ from ..core.position import DUST, Position
 from ..core.position_book import BookScan, BookValuation, PositionBook
 from ..core.terminology import LiquidationParams
 from ..oracle.chainlink import PriceOracle
+from ..telemetry import runtime as telemetry
 from ..tokens.registry import TokenRegistry
 from .interest import KinkedRateModel
 
@@ -197,10 +198,24 @@ class LendingProtocol(abc.ABC):
             getattr(self.oracle, "version", 0),
             self.book.revision,
         )
+        active = telemetry.active()
         cached = self._valuation_cache
         if cached is not None and self._valuation_key == key:
+            if active is not None:
+                active.counter(
+                    "repro_valuation_cache_total",
+                    "BookValuation cache lookups, by outcome",
+                    ("platform", "outcome"),
+                ).labels(platform=self.name, outcome="hit").inc()
             return cached
-        valuation = self.book.valuation(self.prices(), self.liquidation_thresholds())
+        if active is not None:
+            active.counter(
+                "repro_valuation_cache_total",
+                "BookValuation cache lookups, by outcome",
+                ("platform", "outcome"),
+            ).labels(platform=self.name, outcome="build").inc()
+        with telemetry.span("protocol.valuation", {"platform": self.name}):
+            valuation = self.book.valuation(self.prices(), self.liquidation_thresholds())
         # Re-read the revision: the sync inside ``valuation`` may have
         # registered new asset columns, which bumps it.
         self._valuation_key = (key[0], key[1], self.book.revision)

@@ -50,6 +50,7 @@ from ..protocols.base import LendingProtocol
 from ..protocols.dydx import DydxProtocol
 from ..protocols.fixed_spread_protocol import FixedSpreadProtocol
 from ..protocols.makerdao import MakerDAOProtocol
+from ..telemetry.runtime import span
 from ..tokens.registry import TokenRegistry
 from .config import ScenarioConfig
 from .market import MarketMaker
@@ -370,19 +371,21 @@ class SimulationEngine:
             # One batched quote pass: a single prices/thresholds fetch is
             # shared across every flagged candidate (prices cannot move
             # within a step), instead of three oracle sweeps per candidate.
-            candidates = self._liquidatable_candidates(protocol)
-            for position, quote in protocol.quote_opportunities(candidates):
-                opportunities.append(
-                    LiquidationOpportunity(
-                        protocol=protocol,
-                        borrower=position.owner,
-                        debt_symbol=quote.debt_symbol,
-                        collateral_symbol=quote.collateral_symbol,
-                        repay_amount=quote.repay_amount,
-                        expected_profit_usd=quote.profit_usd,
-                        health_factor=quote.health_factor_before,
+            with span("engine.scan"):
+                candidates = self._liquidatable_candidates(protocol)
+            with span("engine.quote"):
+                for position, quote in protocol.quote_opportunities(candidates):
+                    opportunities.append(
+                        LiquidationOpportunity(
+                            protocol=protocol,
+                            borrower=position.owner,
+                            debt_symbol=quote.debt_symbol,
+                            collateral_symbol=quote.collateral_symbol,
+                            repay_amount=quote.repay_amount,
+                            expected_profit_usd=quote.profit_usd,
+                            health_factor=quote.health_factor_before,
+                        )
                     )
-                )
         self._fixed_spread_cache = opportunities
         return opportunities
 
@@ -394,10 +397,11 @@ class SimulationEngine:
         if makerdao is None or not self.is_active(makerdao):
             self._makerdao_cache = []
             return self._makerdao_cache
-        vaults = [
-            position.owner
-            for position in self._liquidatable_candidates(makerdao, require_collateral=True)
-        ]
+        with span("engine.scan"):
+            vaults = [
+                position.owner
+                for position in self._liquidatable_candidates(makerdao, require_collateral=True)
+            ]
         self._makerdao_cache = vaults
         return vaults
 
@@ -405,36 +409,49 @@ class SimulationEngine:
     # Stepping
     # ------------------------------------------------------------------ #
     def step(self):
-        """Advance the world by one block stride and return the mined block."""
-        bus = self.bus if self.bus.active else None
-        if bus:
-            bus.emit(
-                sim_events.StepStarted(
-                    step_index=self.step_index, block_number=self.chain.current_block
+        """Advance the world by one block stride and return the mined block.
+
+        Every phase runs under a telemetry span (``engine.incidents`` …
+        ``engine.mine``); with telemetry off each ``span()`` call returns a
+        shared no-op, so the instrumentation is unmeasurable on bare runs.
+        """
+        with span("engine.step"):
+            bus = self.bus if self.bus.active else None
+            if bus:
+                bus.emit(
+                    sim_events.StepStarted(
+                        step_index=self.step_index, block_number=self.chain.current_block
+                    )
                 )
-            )
-        self._fire_scheduled_events()
-        self._update_oracles()
-        self._periodic_maintenance()
-        self._fixed_spread_cache = None
-        self._makerdao_cache = None
-        self._submit_background_traffic()
-        for agent in self.agents:
-            agent.act(self)
-        block = self.chain.mine_block()
-        if bus:
-            self._stream_chain_events(bus)
-            bus.emit(
-                sim_events.BlockMined(
-                    step_index=self.step_index,
-                    block_number=block.number,
-                    n_receipts=len(block.receipts),
-                    gas_used=block.gas_used,
-                    base_gas_price_wei=block.base_gas_price,
-                )
-            )
-        self.step_index += 1
-        return block
+            with span("engine.incidents"):
+                self._fire_scheduled_events()
+            with span("engine.oracles"):
+                self._update_oracles()
+            with span("engine.maintenance"):
+                self._periodic_maintenance()
+            self._fixed_spread_cache = None
+            self._makerdao_cache = None
+            with span("engine.traffic"):
+                self._submit_background_traffic()
+            with span("engine.agents"):
+                for agent in self.agents:
+                    agent.act(self)
+            with span("engine.mine"):
+                block = self.chain.mine_block()
+            if bus:
+                with span("engine.probes"):
+                    self._stream_chain_events(bus)
+                    bus.emit(
+                        sim_events.BlockMined(
+                            step_index=self.step_index,
+                            block_number=block.number,
+                            n_receipts=len(block.receipts),
+                            gas_used=block.gas_used,
+                            base_gas_price_wei=block.base_gas_price,
+                        )
+                    )
+            self.step_index += 1
+            return block
 
     def run(self, n_steps: int | None = None) -> SimulationResult:
         """Run until the configured end block (or for ``n_steps`` strides)."""
@@ -460,7 +477,8 @@ class SimulationEngine:
         # call ended here), in which case re-capturing is pure waste.
         snapshot_blocks = self.chain.snapshot_blocks
         if not snapshot_blocks or snapshot_blocks[-1] != self.chain.current_block:
-            self.chain.take_snapshot()
+            with span("engine.snapshot"):
+                self.chain.take_snapshot()
             if bus:
                 bus.emit(
                     sim_events.SnapshotTaken(
@@ -557,7 +575,8 @@ class SimulationEngine:
             if self.is_active(dydx):
                 dydx.write_off_bad_debt()
         if self.config.snapshot_every_steps and self.step_index % self.config.snapshot_every_steps == 0:
-            self.chain.take_snapshot()
+            with span("engine.snapshot"):
+                self.chain.take_snapshot()
             if self.bus.active:
                 self.bus.emit(
                     sim_events.SnapshotTaken(

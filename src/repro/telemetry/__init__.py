@@ -1,0 +1,63 @@
+"""Run-level telemetry: metrics registry, tracing spans, profiling hooks.
+
+The observability layer of the reproduction, answering *where wall-clock
+time and memory pressure actually go* while keeping instrumented runs
+bit-identical to bare ones:
+
+* :mod:`repro.telemetry.metrics` — a zero-dependency metrics registry
+  (counters, gauges, histograms with label sets) and Prometheus-style text
+  exposition;
+* :mod:`repro.telemetry.spans` — nested wall-clock tracing spans with
+  per-phase aggregation and Chrome trace-event JSON export;
+* :mod:`repro.telemetry.runtime` — the on/off switch: :func:`enabled`
+  installs a :class:`Telemetry` instance and the instrumented call sites
+  (engine stride phases, chain packing, position-book sync, valuation
+  cache, campaign workers) pick it up through the near-zero-cost
+  :func:`span` / :func:`active` helpers;
+* :mod:`repro.telemetry.probe` — :class:`TelemetryProbe`, bridging the
+  typed observer-bus stream into metrics;
+* :mod:`repro.telemetry.http` — :class:`MetricsServer`, the ``/metrics``
+  exposition endpoint behind ``repro watch --metrics-port``.
+
+Quickstart::
+
+    from repro import scenarios
+    from repro.telemetry import Telemetry, TelemetryProbe, enabled, render_phase_report
+
+    with enabled() as telemetry:
+        engine = scenarios.get("small").build(seed=7)
+        engine.attach_probe(TelemetryProbe(telemetry.registry))
+        engine.run()
+    print(render_phase_report(telemetry.tracer.records))
+    telemetry.tracer.write_chrome_trace("trace.json")
+
+or, from the shell::
+
+    repro trace small --chrome-trace trace.json
+    repro watch small --metrics-port 9464     # then curl :9464/metrics
+"""
+
+from .http import MetricsServer
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .probe import TelemetryProbe
+from .runtime import Telemetry, active, enabled, install, span, uninstall
+from .spans import SpanRecord, Tracer, aggregate_spans, render_phase_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryProbe",
+    "Tracer",
+    "active",
+    "aggregate_spans",
+    "enabled",
+    "install",
+    "render_phase_report",
+    "span",
+    "uninstall",
+]

@@ -1,0 +1,94 @@
+"""A minimal metrics exposition endpoint (stdlib-only).
+
+:class:`MetricsServer` serves a :class:`~repro.telemetry.metrics.MetricsRegistry`
+over HTTP from a daemon thread:
+
+* ``GET /metrics`` — Prometheus text exposition (format 0.0.4);
+* ``GET /health``  — ``{"status": "ok"}`` liveness JSON.
+
+It backs ``repro watch --metrics-port`` — scrape the live run with any
+Prometheus-compatible collector, or just ``curl`` it.  Binding port 0 picks
+a free ephemeral port; the actual port is on :attr:`MetricsServer.port`
+after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves a metrics registry on ``host:port`` from a daemon thread."""
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self.host = host
+        self.requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self.requested_port
+
+    def start(self) -> "MetricsServer":
+        """Bind and start serving in a daemon thread; returns ``self``."""
+        if self._server is not None:
+            return self
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.rstrip("/") in ("", "/metrics"):
+                    body = registry.exposition().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+                elif self.path == "/health":
+                    body = (json.dumps({"status": "ok"}) + "\n").encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # noqa: A003
+                """Silence per-request stderr lines (the CLI owns stderr)."""
+
+        self._server = ThreadingHTTPServer((self.host, self.requested_port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
