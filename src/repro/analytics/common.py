@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from datetime import datetime, timezone
+from typing import Iterable
 
 #: The four fixed-spread liquidation event signatures plus MakerDAO's Deal.
 FIXED_SPREAD_LIQUIDATION_EVENTS = ("LiquidationCall", "LiquidateBorrow", "LogLiquidate")
@@ -24,6 +25,23 @@ def month_of_block(chain, block_number: int) -> str:
 def sort_months(months) -> list[str]:
     """Sort ``YYYY-MM`` strings chronologically."""
     return sorted(months)
+
+
+def pinned_sum(values: Iterable[float]) -> float:
+    """Left-to-right float summation with a pinned 0.0 start.
+
+    Float addition is not associative, so *how* a total is reduced is part
+    of every seed-pinned report's bit-identity contract.  This helper pins
+    the order to an explicit left-to-right walk over the iterable — the
+    same order the scalar reference implementations use — so refactors
+    cannot silently re-associate a total (``np.sum`` reduces pairwise,
+    ``math.fsum`` re-associates exactly; both produce different last ulps).
+    SUM002 routes all float value sums in analytics/ and experiments/ here.
+    """
+    total = 0.0
+    for value in values:
+        total += value
+    return total
 
 
 def usd(value: float) -> str:

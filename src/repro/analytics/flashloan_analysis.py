@@ -12,6 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from ..simulation.engine import SimulationResult
+from .common import pinned_sum
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,7 @@ class FlashLoanReport:
     @property
     def total_amount_usd(self) -> float:
         """Total amount borrowed through liquidation flash loans (paper: 483.83 M USD)."""
-        return sum(row.accumulative_amount_usd for row in self.rows)
+        return pinned_sum(row.accumulative_amount_usd for row in self.rows)
 
     def by_flash_platform(self) -> dict[str, float]:
         """Accumulative borrowed amount per flash-loan venue."""

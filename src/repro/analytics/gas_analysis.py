@@ -13,6 +13,7 @@ import bisect
 from dataclasses import dataclass
 
 from ..chain.gas import moving_average
+from .common import pinned_sum
 from ..chain.transaction import TxKind, TxStatus
 from ..chain.types import GWEI
 from ..simulation.engine import SimulationResult
@@ -101,8 +102,9 @@ def liquidation_fee_statistics(result: SimulationResult) -> dict[str, float]:
     ]
     if not fees:
         return {"count": 0, "total_fee_eth": 0.0, "average_fee_eth": 0.0}
+    total_fee_eth = pinned_sum(fees)
     return {
         "count": float(len(fees)),
-        "total_fee_eth": float(sum(fees)),
-        "average_fee_eth": float(sum(fees) / len(fees)),
+        "total_fee_eth": total_fee_eth,
+        "average_fee_eth": total_fee_eth / len(fees),
     }

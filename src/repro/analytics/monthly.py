@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from .common import sort_months
+from .common import pinned_sum, sort_months
 from .records import LiquidationRecord, filter_market
 
 
@@ -57,7 +57,7 @@ def accumulative_collateral_series(records: Iterable[LiquidationRecord]) -> dict
 
 def total_liquidated_collateral_usd(records: Iterable[LiquidationRecord]) -> float:
     """The paper's headline 807.46 M USD figure: total collateral sold."""
-    return sum(record.collateral_usd for record in records)
+    return pinned_sum(record.collateral_usd for record in records)
 
 
 def monthly_profit_by_platform(records: Iterable[LiquidationRecord]) -> dict[str, dict[str, float]]:

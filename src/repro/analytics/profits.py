@@ -12,7 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable
 
-from .common import PLATFORM_ORDER
+from .common import PLATFORM_ORDER, pinned_sum
 from .records import LiquidationRecord
 
 
@@ -91,7 +91,7 @@ def profit_report(records: Iterable[LiquidationRecord]) -> ProfitReport:
                 platform=platform,
                 liquidations=len(platform_records),
                 liquidators=len(liquidators),
-                total_profit_usd=sum(record.profit_usd for record in platform_records),
+                total_profit_usd=pinned_sum(record.profit_usd for record in platform_records),
             )
         )
 
@@ -99,7 +99,7 @@ def profit_report(records: Iterable[LiquidationRecord]) -> ProfitReport:
         LiquidatorSummary(
             address=address,
             liquidations=len(liquidator_records),
-            total_profit_usd=sum(record.profit_usd for record in liquidator_records),
+            total_profit_usd=pinned_sum(record.profit_usd for record in liquidator_records),
         )
         for address, liquidator_records in by_liquidator.items()
     ]
@@ -110,10 +110,10 @@ def profit_report(records: Iterable[LiquidationRecord]) -> ProfitReport:
         rows=tuple(rows),
         total_liquidations=len(records),
         total_liquidators=len(by_liquidator),
-        total_profit_usd=sum(record.profit_usd for record in records),
-        total_collateral_liquidated_usd=sum(record.collateral_usd for record in records),
+        total_profit_usd=pinned_sum(record.profit_usd for record in records),
+        total_collateral_liquidated_usd=pinned_sum(record.collateral_usd for record in records),
         most_active=most_active,
         most_profitable=most_profitable,
         unprofitable_liquidations=len(unprofitable),
-        unprofitable_loss_usd=sum(record.profit_usd for record in unprofitable),
+        unprofitable_loss_usd=pinned_sum(record.profit_usd for record in unprofitable),
     )

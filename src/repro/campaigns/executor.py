@@ -16,16 +16,16 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
-import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..chain.types import reset_id_counters
 from ..experiments.runner import run_json
 from ..observers.probes import LiquidationRecorder, MetricsAccumulator
+from ..runtime_state import reset_run_state
 from ..serialize import to_jsonable
 from ..telemetry import runtime as telemetry_runtime
+from ..telemetry.clock import perf_seconds
 from ..telemetry.runtime import Telemetry, span
 from .spec import CampaignSpec, RunSpec
 from .store import RunStore
@@ -94,7 +94,7 @@ _WORKER_STATE: dict[str, float | int] = {}
 
 def _worker_begin() -> tuple[str, int, float]:
     """Mark task start; returns ``(worker_name, task_index, idle_seconds)``."""
-    now = time.perf_counter()
+    now = perf_seconds()
     if not _WORKER_STATE:
         _WORKER_STATE["last_end"] = now
         _WORKER_STATE["tasks"] = 0
@@ -104,7 +104,7 @@ def _worker_begin() -> tuple[str, int, float]:
 
 
 def _worker_end() -> None:
-    _WORKER_STATE["last_end"] = time.perf_counter()
+    _WORKER_STATE["last_end"] = perf_seconds()
 
 
 def _valuation_cache_stats(snapshot: dict[str, float]) -> dict:
@@ -141,13 +141,12 @@ def execute_job(job: RunJob) -> RunOutcome:
     remain byte-identical with telemetry on or off.
     """
     worker_name, task_index, idle_seconds = _worker_begin()
-    started = time.perf_counter()
-    # Address/tx-hash identifiers come from process-wide counters; reset them
-    # so a run's identifier sequence is independent of how many runs the
-    # process executed before it — serial and pooled execution then produce
-    # byte-identical files.  Each run builds a fresh world, so uniqueness
-    # within the run is unaffected.
-    reset_id_counters()
+    started = perf_seconds()
+    # Module-global mutable state (address/tx-hash counters and anything
+    # else in the runtime_state registry) is rewound so a run's identifier
+    # sequences are independent of how many runs the process executed before
+    # it — serial and pooled execution then produce byte-identical files.
+    reset_run_state()
     telemetry = Telemetry(name=job.run.run_id) if job.collect_telemetry else None
     scope = telemetry_runtime.enabled(telemetry) if telemetry else nullcontext()
     try:
@@ -174,7 +173,7 @@ def execute_job(job: RunJob) -> RunOutcome:
                 # What imap_unordered would pay to ship the run's outputs
                 # across the process boundary (the 0.73× suspect).
                 pickle_bytes = len(pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL))
-        elapsed = time.perf_counter() - started
+        elapsed = perf_seconds() - started
         digest = _telemetry_digest(
             telemetry,
             worker=worker_name,
@@ -195,7 +194,7 @@ def execute_job(job: RunJob) -> RunOutcome:
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return RunOutcome(
             run_id=job.run.run_id,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=perf_seconds() - started,
             error=f"{type(exc).__name__}: {exc}",
         )
     finally:
@@ -285,7 +284,7 @@ class CampaignExecutor:
 
     def execute(self) -> CampaignResult:
         """Run (or resume) the campaign; returns the execution summary."""
-        started = time.perf_counter()
+        started = perf_seconds()
         campaign = self.spec.campaign
         runs = self.spec.runs()
         result = CampaignResult(campaign=campaign, store_root=str(self.store.root))
@@ -333,5 +332,5 @@ class CampaignExecutor:
 
         result.executed.sort()
         result.resumed.sort()
-        result.elapsed_seconds = time.perf_counter() - started
+        result.elapsed_seconds = perf_seconds() - started
         return result

@@ -40,7 +40,11 @@ MANIFEST = "manifest.json"
 
 
 def _dump(payload: Any) -> str:
-    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    # allow_nan=False: non-finite floats must have been normalised to their
+    # string spellings by to_jsonable already; a bare NaN here would emit a
+    # token that is not JSON (and that non-Python consumers reject), so fail
+    # at the write boundary instead of poisoning the archive.
+    return json.dumps(payload, sort_keys=True, indent=2, allow_nan=False) + "\n"
 
 
 class RunStore:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .receipts import summarize_gas
-from .transaction import Receipt
+from .transaction import Receipt, TxKind
 
 
 @dataclass
@@ -70,6 +70,6 @@ class Block:
             return 0.0
         return self.gas_used / self.gas_limit
 
-    def transactions_of_kind(self, kind) -> list[Receipt]:
+    def transactions_of_kind(self, kind: TxKind) -> list[Receipt]:
         """Return receipts whose transaction kind equals ``kind``."""
         return [receipt for receipt in self.receipts if receipt.kind == kind]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from .. import sanitize
 from ..telemetry.runtime import span
 from .block import Block
 from .events import EventFilter, EventLog, EventStore
@@ -171,6 +172,11 @@ class Blockchain:
         # block's logs start counting from zero again.
         self._log_index = 0
         self.gas_market.step()
+        if sanitize.enabled():
+            # Packing is the only code that pops the mempool's lazy views;
+            # auditing the bookkeeping once per mined stride bounds any
+            # desynchronisation to the block that introduced it.
+            self.mempool.check_invariants()
         return block
 
     def _execute(self, tx: Transaction) -> Receipt:

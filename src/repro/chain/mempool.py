@@ -29,6 +29,7 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import sanitize
 from ..telemetry import runtime as telemetry
 from .transaction import Transaction, TxStatus
 
@@ -192,6 +193,52 @@ class Mempool:
         for entry in skipped:
             heapq.heappush(self._heap, entry)
         return selected
+
+    def check_invariants(self) -> None:
+        """Sanitizer: revalidate the twin-heap bookkeeping.
+
+        The three lazy views share entries and delete lazily, so a missed
+        ``_consume``/``_discard`` (or a double one) desynchronises the live
+        count from the views *silently* — packing and eviction keep working,
+        just on the wrong population.  This check asserts that every view
+        agrees with :attr:`_size`, that sort keys still match their
+        transactions' gas prices, and that both heaps retain the heap
+        property.  Raises :class:`~repro.sanitize.SanitizerError`.
+        """
+        live_pack = [entry for entry in self._heap if entry.alive]
+        live_fifo = [entry for entry in self._fifo if entry.alive]
+        live_evict = [item for item in self._evict_heap if item[2].alive]
+        for view, count in (("pack heap", len(live_pack)), ("fifo", len(live_fifo)), ("evict heap", len(live_evict))):
+            if count != self._size:
+                raise sanitize.SanitizerError(
+                    f"mempool {view} holds {count} live entries but _size says "
+                    f"{self._size}: a lazy deletion was missed or double-counted"
+                )
+        if {id(e) for e in live_pack} != {id(e) for e in live_fifo}:
+            raise sanitize.SanitizerError(
+                "mempool pack heap and fifo disagree on the live entry set"
+            )
+        for entry in live_pack:
+            expected = -entry.transaction.gas_price
+            if entry.sort_key[0] != expected:
+                raise sanitize.SanitizerError(
+                    f"mempool pack-heap sort key {entry.sort_key[0]} does not "
+                    f"match gas price {entry.transaction.gas_price} of "
+                    f"{entry.transaction.tx_hash}: the bid mutated after submit"
+                )
+        for price, _, entry in live_evict:
+            if price != entry.transaction.gas_price:
+                raise sanitize.SanitizerError(
+                    f"mempool evict-heap key {price} does not match gas price "
+                    f"{entry.transaction.gas_price} of {entry.transaction.tx_hash}"
+                )
+        for name, heap in (("pack", self._heap), ("evict", self._evict_heap)):
+            for index in range(1, len(heap)):
+                parent = (index - 1) >> 1
+                if heap[index] < heap[parent]:
+                    raise sanitize.SanitizerError(
+                        f"mempool {name} heap lost the heap property at index {index}"
+                    )
 
     def clear(self) -> list[Transaction]:
         """Drop every pending transaction and return them (used by tests)."""

@@ -19,6 +19,8 @@ import hashlib
 import itertools
 from dataclasses import dataclass
 
+from ..runtime_state import register_reset
+
 #: Number of wei in one gwei.  Gas prices throughout the simulator are
 #: expressed in gwei, as in Figure 6 of the paper.
 GWEI = 10**9
@@ -102,13 +104,17 @@ def make_tx_hash(payload: str = "") -> str:
 def reset_id_counters() -> None:
     """Reset the global address / hash counters.
 
-    Only used by tests that assert on deterministic identifier sequences;
-    simulations never need to call this because determinism is provided by
-    seeding the scenario RNG, not by identifier values.
+    Registered with :mod:`repro.runtime_state` so every campaign run starts
+    its identifier sequences from 1 regardless of process history — the
+    serial-vs-parallel byte-identity contract.  Tests asserting on
+    deterministic identifier sequences call it directly.
     """
     global _address_counter, _hash_counter
     _address_counter = itertools.count(1)
     _hash_counter = itertools.count(1)
+
+
+register_reset("repro.chain.types.id_counters", reset_id_counters)
 
 
 def blocks_to_hours(n_blocks: int | float) -> float:

@@ -150,6 +150,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id to compute per run (repeatable); default: all",
     )
 
+    # ``lint`` owns its full argument surface in repro.devtools.cli; main()
+    # delegates before this parser ever sees the arguments.  The stub makes
+    # the subcommand discoverable in ``repro --help``.
+    sub.add_parser(
+        "lint",
+        add_help=False,
+        help="repo-specific static analysis (determinism & invariant rules; see `repro lint --explain`)",
+    )
+
     compare_parser = sub.add_parser("compare", help="cross-run statistics from the run store")
     compare_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
     compare_parser.add_argument(
@@ -473,6 +482,13 @@ def _emit(text: str, output: str | None) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # The lint CLI owns its own parser (rule codes, baseline modes,
+        # the mypy gate) — hand the remaining arguments straight through.
+        from .devtools.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":

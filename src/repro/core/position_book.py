@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from .. import sanitize
 from ..telemetry import runtime as telemetry
 from .position import DUST
 
@@ -515,8 +516,31 @@ class PositionBook:
                 self._collateral[row, cols[symbol]] = amount
             for symbol, amount in position.debt.items():
                 self._debt[row, cols[symbol]] = amount
+        if sanitize.enabled():
+            self._check_finite(sorted(self._dirty), n_assets)
         self._dirty.clear()
         return refreshed
+
+    def _check_finite(self, rows: list[int], n_assets: int) -> None:
+        """Sanitizer: refreshed rows must hold finite token amounts.
+
+        A NaN or infinity in a collateral/debt cell would flow through every
+        matrix product and pinned reduction downstream — NaN in particular
+        makes ``HF < 1`` comparisons silently false, hiding the position from
+        the liquidation scan instead of crashing.  Catch it at the source.
+        """
+        for row in rows:
+            for name, matrix in (("collateral", self._collateral), ("debt", self._debt)):
+                values = matrix[row, :n_assets]
+                bad = ~np.isfinite(values)
+                if bad.any():
+                    col = int(np.argmax(bad))
+                    owner = self._positions[row].owner
+                    raise sanitize.SanitizerError(
+                        f"non-finite {name} amount {values[col]!r} for asset "
+                        f"{self._assets[col]!r} on position row {row} (owner "
+                        f"{owner}) entered the position book"
+                    )
 
     def scan(self, prices: Mapping[str, float], thresholds: Mapping[str, float]) -> BookScan:
         """One vectorized valuation of every position at ``prices``.

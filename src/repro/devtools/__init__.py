@@ -1,0 +1,50 @@
+"""Repo-specific static analysis: the ``repro lint`` framework.
+
+Every performance PR in this repository is only shippable because of a web
+of *determinism invariants* — exact float summation order, seeded-RNG-only
+randomness, per-run id-counter resets, picklable campaign payloads,
+exhaustive ``SimEvent`` handling, telemetry-facade-only clocks — that the
+equivalence test matrices rely on but nothing enforces mechanically.  This
+package is the mechanical enforcement: a small AST-based lint framework
+(:mod:`repro.devtools.framework`) with repo-specific rules
+(:mod:`repro.devtools.rules`), a grandfathering baseline that may shrink
+but never grow (:mod:`repro.devtools.baseline`), and a CLI surfaced as
+``repro lint`` and ``python -m repro.devtools``
+(:mod:`repro.devtools.cli`), optionally chaining into mypy strict on the
+fully-typed packages (:mod:`repro.devtools.typecheck`).
+
+Rules (see ``repro lint --explain CODE`` for rationale and examples):
+
+=========  ==================================================================
+code       enforces
+=========  ==================================================================
+DET001     no unseeded randomness or wall-clock reads in simulation code
+SUM002     float value sums route through the pinned summation helpers
+PKL003     campaign payloads stay picklable; global counters are reset-registered
+EVT004     ``on_event`` dispatchers cover the full ``SimEvent`` taxonomy
+TEL005     clocks and metrics only via the telemetry facade in engine code
+=========  ==================================================================
+
+Intentional exemptions are annotated inline with
+``# repro: lint-ok(CODE reason)`` — the reason is mandatory and surfaces in
+``--explain`` listings, so every exemption documents itself.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .framework import FileContext, LintReport, Rule, Violation, run_lint
+from .rules import ALL_RULES, rule_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "load_baseline",
+    "rule_by_code",
+    "run_lint",
+    "write_baseline",
+]

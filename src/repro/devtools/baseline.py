@@ -1,0 +1,86 @@
+"""The grandfathering baseline: committed debt that may shrink, never grow.
+
+``lint-baseline.json`` at the repository root records, per ``code:path``
+key, how many violations existed when the rule landed.  A lint run fails
+if any key's *current* count exceeds its baselined count — new debt is
+rejected — while keys whose count dropped produce a notice asking for the
+baseline to be re-tightened (``repro lint --write-baseline``).  Keys are
+``code:path`` rather than exact locations because line numbers shift under
+every unrelated edit; per-file counts are stable against that churn while
+still pinning debt to where it lives.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Grandfathered violation counts per ``code:path`` key."""
+
+    entries: Mapping[str, int] = field(default_factory=dict)
+    path: Path | None = None
+
+    def allowance(self, key: str) -> int:
+        return self.entries.get(key, 0)
+
+    def compare(self, counts: Mapping[str, int]) -> tuple[dict[str, tuple[int, int]], dict[str, int]]:
+        """Split ``counts`` against the baseline.
+
+        Returns ``(regressions, slack)``: *regressions* maps keys whose
+        current count exceeds the allowance to ``(current, allowed)``;
+        *slack* maps baseline keys whose debt shrank (or vanished) to the
+        stale allowance, i.e. entries the baseline file should drop.
+        """
+        regressions: dict[str, tuple[int, int]] = {}
+        for key, current in sorted(counts.items()):
+            allowed = self.allowance(key)
+            if current > allowed:
+                regressions[key] = (current, allowed)
+        slack = {
+            key: allowed
+            for key, allowed in sorted(self.entries.items())
+            if counts.get(key, 0) < allowed
+        }
+        return regressions, slack
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Load ``lint-baseline.json``; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline(entries={}, path=path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format version {version!r} "
+            f"(this tool writes version {_FORMAT_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0 for k, v in entries.items()
+    ):
+        raise ValueError(f"{path}: baseline entries must map 'CODE:path' to positive counts")
+    return Baseline(entries=dict(entries), path=path)
+
+
+def write_baseline(path: Path | str, counts: Mapping[str, int]) -> Baseline:
+    """Write the current violation counts as the new baseline.
+
+    Zero-count keys are dropped — the file only ever lists live debt, so an
+    empty ``entries`` object *is* the clean-tree statement.
+    """
+    path = Path(path)
+    entries = {key: count for key, count in sorted(counts.items()) if count > 0}
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return Baseline(entries=entries, path=path)

@@ -1,0 +1,162 @@
+"""The ``repro lint`` command line (also ``python -m repro.devtools``).
+
+Exit codes: 0 — clean (all violations within the committed baseline);
+1 — new violations, baseline regressions, or a failed mypy gate;
+2 — usage errors (unknown rule code, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import load_baseline, write_baseline
+from .framework import run_lint
+from .rules import ALL_RULES, rule_by_code
+from .typecheck import run_mypy
+
+__all__ = ["build_parser", "main"]
+
+#: src root (the directory holding ``repro/``) of this checkout.
+_SRC_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Repo-specific determinism & invariant lint (see --explain).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="src-root-relative files/directories to lint (default: repro/)",
+    )
+    parser.add_argument(
+        "--explain",
+        nargs="?",
+        const="all",
+        metavar="CODE",
+        help="print rule rationale and examples (one CODE, or all) and exit",
+    )
+    parser.add_argument(
+        "--src-root",
+        type=Path,
+        default=_SRC_ROOT,
+        help="import root containing the repro/ package (default: this checkout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: lint-baseline.json next to the src root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current violation counts and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every violation as a failure",
+    )
+    parser.add_argument(
+        "--mypy",
+        action="store_true",
+        help="also run the mypy strict gate over the typed packages",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line and warnings; print violations only",
+    )
+    return parser
+
+
+def _explain(code: str) -> int:
+    if code == "all":
+        chunks = [rule.explain() for rule in ALL_RULES]
+        print("\n\n".join(chunks))
+        return 0
+    try:
+        rule = rule_by_code(code)
+    except KeyError:
+        print(f"unknown rule code {code!r}; known: {', '.join(r.code for r in ALL_RULES)}", file=sys.stderr)
+        return 2
+    print(rule.explain())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.explain is not None:
+        return _explain(args.explain)
+
+    src_root = args.src_root.resolve()
+    baseline_path = args.baseline or src_root.parent / "lint-baseline.json"
+    paths = args.paths or ["repro"]
+
+    report = run_lint(src_root, ALL_RULES, paths=paths)
+    counts = report.counts()
+
+    if args.write_baseline:
+        baseline = write_baseline(baseline_path, counts)
+        total = sum(baseline.entries.values())
+        print(f"wrote {baseline_path} ({len(baseline.entries)} entries, {total} grandfathered violations)")
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    failed = False
+    if args.no_baseline:
+        for violation in report.violations:
+            print(violation.render())
+        failed = bool(report.violations)
+    else:
+        regressions, slack = baseline.compare(counts)
+        if regressions:
+            failed = True
+            for violation in report.violations:
+                if violation.baseline_key in regressions:
+                    print(violation.render())
+            for key, (current, allowed) in regressions.items():
+                print(f"{key}: {current} violation(s), baseline allows {allowed}")
+        if slack and not args.quiet:
+            for key, allowed in slack.items():
+                print(
+                    f"notice: baseline entry {key} is stale "
+                    f"({counts.get(key, 0)} current < {allowed} allowed); "
+                    "re-tighten with --write-baseline"
+                )
+
+    if not args.quiet:
+        for warning in report.warnings:
+            print(f"warning: {warning}")
+
+    mypy_failed = False
+    if args.mypy:
+        result = run_mypy(src_root.parent)
+        if result.output and not args.quiet:
+            print(result.output)
+        elif result.output and not result.ok:
+            print(result.output)
+        mypy_failed = not result.ok
+
+    if not args.quiet:
+        verdict = "FAIL" if (failed or mypy_failed) else "ok"
+        print(
+            f"repro lint: {report.files_checked} files, "
+            f"{len(report.violations)} violation(s), "
+            f"{len(report.warnings)} warning(s) — {verdict}"
+        )
+    return 1 if (failed or mypy_failed) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,292 @@
+"""The lint framework: violations, rules, pragmas and the file walker.
+
+A :class:`Rule` owns one invariant: a stable code (``DET001``), the
+directory scopes it applies to, a rationale with a bad/good example pair
+(rendered by ``repro lint --explain``), and a :meth:`Rule.check` that walks
+one parsed file and yields :class:`Violation` s.
+
+Suppression is *local and documented*: a violation is silenced only by an
+inline ``# repro: lint-ok(CODE reason)`` pragma on the offending line (or
+the line directly above it).  The framework tracks pragma usage, so stale
+pragmas that no longer suppress anything are reported as warnings instead
+of rotting silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Pragma",
+    "Rule",
+    "Violation",
+    "dotted_name",
+    "harvest_import_aliases",
+    "run_lint",
+]
+
+#: ``# repro: lint-ok(CODE reason)`` — CODE is one rule code, the reason is
+#: free text (mandatory by convention; an empty reason draws a warning).
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*lint-ok\(\s*([A-Z]{3}\d{3})\b\s*([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a specific source location."""
+
+    code: str
+    path: str  # src-root-relative posix path, e.g. "repro/simulation/engine.py"
+    line: int
+    column: int
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """Grouping key for the grandfathering baseline (line numbers shift
+        too easily to key on, so the baseline counts per ``code:path``)."""
+        return f"{self.code}:{self.path}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``lint-ok`` pragma."""
+
+    code: str
+    reason: str
+    line: int
+
+
+class FileContext:
+    """One parsed source file handed to every applicable rule."""
+
+    def __init__(self, path: Path, relpath: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.pragmas: list[Pragma] = [
+            Pragma(code=match.group(1), reason=match.group(2).strip(), line=lineno)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            for match in _PRAGMA_RE.finditer(text)
+        ]
+        self._pragma_lines: dict[str, set[int]] = {}
+        for pragma in self.pragmas:
+            self._pragma_lines.setdefault(pragma.code, set()).add(pragma.line)
+        self._used_pragmas: set[tuple[str, int]] = set()
+        self.import_aliases = harvest_import_aliases(tree)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """Whether a ``code`` violation at ``line`` carries a pragma.
+
+        The pragma may sit on the offending line itself or on the line
+        directly above it (a comment-only line).
+        """
+        lines = self._pragma_lines.get(code)
+        if not lines:
+            return False
+        for candidate in (line, line - 1):
+            if candidate in lines:
+                self._used_pragmas.add((code, candidate))
+                return True
+        return False
+
+    def unused_pragmas(self) -> list[Pragma]:
+        """Pragmas that suppressed nothing in this run (stale or typo'd)."""
+        return [
+            pragma
+            for pragma in self.pragmas
+            if (pragma.code, pragma.line) not in self._used_pragmas
+        ]
+
+
+def harvest_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from datetime import datetime`` → ``{"datetime": "datetime.datetime"}``;
+    ``from time import time as now`` → ``{"now": "time.time"}``.
+    Relative imports keep their leading dots (``from ..telemetry import x``
+    → ``{"x": "..telemetry.x"}``) so rules can recognise in-package imports.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                aliases[local] = name.name if name.asname else name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{module}.{name.name}" if module else name.name
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Mapping[str, str] | None = None) -> str | None:
+    """The dotted name of an attribute/name chain, alias-expanded.
+
+    ``np.random.normal`` with ``{"np": "numpy"}`` → ``"numpy.random.normal"``;
+    returns ``None`` for anything that is not a plain name chain.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if aliases and root in aliases:
+        root = aliases[root]
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scopes`` is a tuple of src-root-relative directory prefixes (e.g.
+    ``("repro/simulation", "repro/chain")``); an empty tuple means the rule
+    applies to every linted file.
+    """
+
+    code: str = "XXX000"
+    title: str = ""
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
+    scopes: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scopes)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` for ``node`` in ``ctx``."""
+        return Violation(
+            code=self.code,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+    def explain(self) -> str:
+        """The ``--explain`` rendering: rationale plus a bad/good pair."""
+        lines = [f"{self.code} — {self.title}", "", self.rationale.strip()]
+        if self.example_bad:
+            lines += ["", "Violation:", *(f"    {l}" for l in self.example_bad.strip().splitlines())]
+        if self.example_good:
+            lines += ["", "Fix:", *(f"    {l}" for l in self.example_good.strip().splitlines())]
+        lines += [
+            "",
+            f"Intentional exemptions: # repro: lint-ok({self.code} <reason>) on the",
+            "offending line or the line directly above it.",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found."""
+
+    violations: list[Violation] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def counts(self) -> dict[str, int]:
+        """Violations per baseline key (``code:path``)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.baseline_key] = counts.get(violation.baseline_key, 0) + 1
+        return counts
+
+
+def iter_source_files(src_root: Path, paths: Sequence[str] | None = None) -> list[Path]:
+    """The files one lint run covers, in stable sorted order.
+
+    ``paths`` (src-root-relative files or directories) restricts the walk;
+    the default is every ``.py`` file under the root.
+    """
+    if paths:
+        out: list[Path] = []
+        for item in paths:
+            candidate = src_root / item
+            if candidate.is_dir():
+                out.extend(sorted(candidate.rglob("*.py")))
+            else:
+                out.append(candidate)
+        return out
+    return sorted(src_root.rglob("*.py"))
+
+
+def run_lint(
+    src_root: Path | str,
+    rules: Iterable[Rule],
+    paths: Sequence[str] | None = None,
+) -> LintReport:
+    """Run ``rules`` over the tree rooted at ``src_root``.
+
+    ``src_root`` is the import root (the directory containing the
+    ``repro/`` package), so rule scopes and violation paths read
+    ``repro/simulation/engine.py``.  Pragma-suppressed violations are
+    dropped here; grandfathering against a baseline happens in the CLI.
+    """
+    root = Path(src_root)
+    rules = list(rules)
+    report = LintReport()
+    for path in iter_source_files(root, paths):
+        if "__pycache__" in path.parts:
+            continue
+        relpath = path.relative_to(root).as_posix()
+        applicable = [rule for rule in rules if rule.applies_to(relpath)]
+        if not applicable:
+            continue
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    code="AST000",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    column=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+        report.files_checked += 1
+        for rule in applicable:
+            for violation in rule.check(ctx):
+                if not ctx.suppressed(violation.code, violation.line):
+                    report.violations.append(violation)
+        for pragma in ctx.unused_pragmas():
+            report.warnings.append(
+                f"{relpath}:{pragma.line}: unused pragma lint-ok({pragma.code}) — "
+                "nothing suppressed here; remove it or fix the code reference"
+            )
+        for pragma in ctx.pragmas:
+            if not pragma.reason:
+                report.warnings.append(
+                    f"{relpath}:{pragma.line}: pragma lint-ok({pragma.code}) has no reason — "
+                    "document why the exemption is safe"
+                )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.code))
+    return report

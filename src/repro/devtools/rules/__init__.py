@@ -1,0 +1,30 @@
+"""The repo-specific rule set enforced by ``repro lint``."""
+
+from __future__ import annotations
+
+from ..framework import Rule
+from .determinism import UnseededRandomness
+from .events import ExhaustiveEventDispatch
+from .pickling import PicklableCampaignPayloads
+from .summation import PinnedFloatSummation
+from .telemetry import TelemetryFacadeOnly
+
+__all__ = ["ALL_RULES", "rule_by_code"]
+
+#: Every enforced rule, in code order.
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRandomness(),
+    PinnedFloatSummation(),
+    PicklableCampaignPayloads(),
+    ExhaustiveEventDispatch(),
+    TelemetryFacadeOnly(),
+)
+
+
+def rule_by_code(code: str) -> Rule:
+    """Look up a rule by its code (case-insensitive); raises ``KeyError``."""
+    wanted = code.upper()
+    for rule in ALL_RULES:
+        if rule.code == wanted:
+            return rule
+    raise KeyError(f"unknown rule {code!r}; known: {', '.join(r.code for r in ALL_RULES)}")

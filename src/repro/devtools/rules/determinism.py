@@ -1,0 +1,100 @@
+"""DET001 — no unseeded randomness or wall-clock reads in simulation code.
+
+Seed-pinned bit-identity (the property every equivalence matrix in
+``tests/`` asserts) only holds if *all* randomness in the simulated world
+descends from the scenario ``SeedSequence`` and nothing branches on the
+host's clock.  One stray ``random.random()`` or ``time.time()`` in an agent
+or protocol silently breaks serial-vs-parallel byte-identity, campaign
+resume, and every scan/valuation equivalence proof at once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, Rule, Violation, dotted_name
+
+__all__ = ["UnseededRandomness"]
+
+#: ``np.random.<fn>()`` module-level calls draw from NumPy's *global* RNG —
+#: unseeded per run.  Constructors and seed plumbing are explicitly fine.
+_NP_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+#: Wall-clock reads (host time leaking into the simulated world).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class UnseededRandomness(Rule):
+    code = "DET001"
+    title = "no unseeded randomness or wall-clock reads in simulation code"
+    rationale = """\
+Simulation, chain, protocol, agent and scenario code must draw randomness
+only from generators descending from the scenario seed (``np.random.default_rng``
+/ ``SeedSequence.spawn``) and must never read host clocks: both break the
+seed-pinned bit-identity the whole test strategy rests on.  Clocks are
+telemetry-only (see TEL005); wall-clock timestamps inside the simulated
+world come from block numbers, never from the host."""
+    example_bad = """\
+import random
+jitter = random.random()          # global, unseeded RNG
+stamp = time.time()               # host clock inside the world"""
+    example_good = """\
+rng = np.random.default_rng(child_seed)   # descends from the scenario seed
+jitter = rng.random()
+stamp = chain.timestamp_of_block(block)   # simulated time"""
+    scopes = (
+        "repro/simulation/",
+        "repro/chain/",
+        "repro/protocols/",
+        "repro/agents/",
+        "repro/scenarios/",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = ctx.import_aliases
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        yield self.violation(
+                            ctx, node, "stdlib `random` is process-global and unseeded; use np.random.default_rng descended from the scenario seed"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.violation(
+                        ctx, node, "stdlib `random` is process-global and unseeded; use np.random.default_rng descended from the scenario seed"
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, aliases)
+                if name is None:
+                    continue
+                if name.startswith("numpy.random."):
+                    attr = name.rsplit(".", 1)[1]
+                    if attr not in _NP_RANDOM_ALLOWED:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"`{attr}` on the numpy.random *module* draws from the global unseeded RNG; draw from a Generator descended from the scenario SeedSequence",
+                        )
+                elif name in _WALL_CLOCK:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"wall-clock read `{name}()` in simulation code; simulated time comes from block numbers, host clocks are telemetry-only",
+                    )

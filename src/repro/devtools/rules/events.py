@@ -1,0 +1,170 @@
+"""EVT004 — ``on_event`` dispatchers cover the full ``SimEvent`` taxonomy.
+
+The event taxonomy in ``repro/observers/events.py`` grows (cascade events,
+service health events are on the roadmap).  A probe that isinstance-matches
+a subset of events silently drops any newly added kind — the stream keeps
+flowing, the probe keeps "working", and the missing aggregate is only
+noticed when a report disagrees.  This rule keeps every dispatcher honest:
+a class whose ``on_event`` isinstance-matches event types must either
+handle, or *explicitly* list as ignored, every concrete event class —
+parsed fresh from ``events.py`` on every lint run, so extending the
+taxonomy immediately fails any probe that has not decided what to do with
+the new event.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..framework import FileContext, Rule, Violation
+
+__all__ = ["ExhaustiveEventDispatch", "event_taxonomy"]
+
+#: Class attribute declaring events a dispatcher deliberately ignores.
+IGNORED_ATTR = "IGNORED_EVENTS"
+
+#: src-root-relative path of the taxonomy module.
+_EVENTS_MODULE = "repro/observers/events.py"
+
+
+def event_taxonomy(src_root: Path) -> frozenset[str]:
+    """The concrete ``SimEvent`` subclass names, parsed from ``events.py``.
+
+    Parsing (rather than importing) keeps the lint runnable on a tree that
+    does not import cleanly, and transitively collects subclasses of
+    subclasses should the taxonomy ever gain intermediate bases.
+    """
+    source = (src_root / _EVENTS_MODULE).read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=_EVENTS_MODULE)
+    known = {"SimEvent"}
+    grew = True
+    while grew:
+        grew = False
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name in known:
+                continue
+            bases = {base.id for base in node.bases if isinstance(base, ast.Name)}
+            if bases & known:
+                known.add(node.name)
+                grew = True
+    return frozenset(known - {"SimEvent"})
+
+
+def _isinstance_matches(func_node: ast.AST, taxonomy: frozenset[str]) -> set[str]:
+    """Event class names isinstance-matched anywhere under ``func_node``."""
+    matched: set[str] = set()
+    for node in ast.walk(func_node):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        if node.func.id != "isinstance" or len(node.args) != 2:
+            continue
+        classes = node.args[1]
+        candidates = classes.elts if isinstance(classes, ast.Tuple) else [classes]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name) and candidate.id in taxonomy:
+                matched.add(candidate.id)
+            elif isinstance(candidate, ast.Attribute) and candidate.attr in taxonomy:
+                matched.add(candidate.attr)
+    return matched
+
+
+def _ignored_events(class_node: ast.ClassDef) -> tuple[set[str], list[ast.AST]]:
+    """Names listed in the class's ``IGNORED_EVENTS`` declaration."""
+    ignored: set[str] = set()
+    nodes: list[ast.AST] = []
+    for node in class_node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == IGNORED_ATTR for t in targets):
+            continue
+        nodes.append(node)
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Name):
+                    ignored.add(element.id)
+                elif isinstance(element, ast.Attribute):
+                    ignored.add(element.attr)
+    return ignored, nodes
+
+
+class ExhaustiveEventDispatch(Rule):
+    code = "EVT004"
+    title = "on_event dispatchers cover the full SimEvent taxonomy"
+    rationale = """\
+A probe that isinstance-dispatches on event types must make a decision for
+*every* concrete SimEvent subclass: handle it, or list it in a class-level
+``IGNORED_EVENTS = (...)`` tuple.  The required set is parsed from
+``repro/observers/events.py`` on every run, so adding an event to the
+taxonomy fails every probe that has not looked at it yet — exactly the
+failure mode that is otherwise silent.  Dispatchers with no isinstance
+matching (uniform handlers like JsonlSink) are exempt; stale
+``IGNORED_EVENTS`` entries (handled, or no longer in the taxonomy) are
+flagged too."""
+    example_bad = """\
+class MyProbe:
+    def on_event(self, event):
+        if isinstance(event, LiquidationSettled):
+            ...                      # 9 other event kinds silently dropped"""
+    example_good = """\
+class MyProbe:
+    IGNORED_EVENTS = (RunStarted, StepStarted, IncidentFired, PriceUpdated,
+                      InterestAccrued, SnapshotTaken, AuctionDealt,
+                      BlockMined, RunCompleted)
+
+    def on_event(self, event):
+        if isinstance(event, LiquidationSettled):
+            ..."""
+    scopes = ("repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Resolve the taxonomy relative to the linted tree (src root is two
+        # levels above e.g. repro/devtools/..., i.e. the parent of "repro").
+        src_root = ctx.path
+        for _ in ctx.relpath.split("/"):
+            src_root = src_root.parent
+        try:
+            taxonomy = event_taxonomy(src_root)
+        except FileNotFoundError:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            on_event = next(
+                (
+                    item
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "on_event"
+                ),
+                None,
+            )
+            if on_event is None:
+                continue
+            matched = _isinstance_matches(on_event, taxonomy)
+            if not matched:
+                continue  # uniform handler: every event takes the same path
+            ignored, ignored_nodes = _ignored_events(node)
+            missing = sorted(taxonomy - matched - ignored)
+            if missing:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"on_event of `{node.name}` neither handles nor ignores: "
+                    f"{', '.join(missing)}; handle them or add them to "
+                    f"{IGNORED_ATTR}",
+                )
+            stale = sorted(ignored - taxonomy) + sorted(ignored & matched)
+            if stale:
+                anchor = ignored_nodes[0] if ignored_nodes else node
+                yield self.violation(
+                    ctx,
+                    anchor,
+                    f"stale {IGNORED_ATTR} entries on `{node.name}`: "
+                    f"{', '.join(stale)} (handled, or no longer in the taxonomy)",
+                )

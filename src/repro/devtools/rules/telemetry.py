@@ -1,0 +1,99 @@
+"""TEL005 — clocks and metrics only via the telemetry facade in engine code.
+
+The telemetry subsystem's bit-identity proof (telemetered runs equal bare
+runs) and its <3 % overhead ceiling both depend on every timer and counter
+in engine code flowing through one switchable facade
+(:mod:`repro.telemetry.runtime` spans/counters,
+:func:`repro.telemetry.clock.perf_seconds` for sanctioned wall timing).
+An ad-hoc ``time.perf_counter()`` in a stride phase is unswitchable
+overhead and invisible to the span report; a privately constructed
+``Tracer``/``MetricsRegistry`` never reaches the exposition endpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, Rule, Violation, dotted_name
+
+__all__ = ["TelemetryFacadeOnly"]
+
+#: Monotonic / CPU timers engine code must not call directly.
+_AD_HOC_TIMERS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+    }
+)
+
+#: Telemetry primitives that must come from the runtime facade instead of
+#: being constructed ad hoc inside engine code.
+_PRIVATE_PRIMITIVES = frozenset({"Tracer", "MetricsRegistry"})
+
+
+class TelemetryFacadeOnly(Rule):
+    code = "TEL005"
+    title = "clocks and metrics only via the telemetry facade in engine code"
+    rationale = """\
+Engine code (simulation, chain, core, protocols, agents, observers,
+campaigns) instruments itself exclusively through the telemetry runtime:
+``telemetry.span(...)`` for timings, ``telemetry.active()`` counters for
+metrics, and ``repro.telemetry.clock.perf_seconds()`` where a raw duration
+is genuinely the datum (worker wall-clock accounting).  Direct
+``time.perf_counter()`` calls and privately constructed
+``Tracer``/``MetricsRegistry`` instances bypass the one switch that keeps
+bare runs overhead-free and the exposition endpoint complete.  The CLI and
+benchmarks are out of scope — user-facing timing output is their job."""
+    example_bad = """\
+started = time.perf_counter()
+run_phase()
+elapsed = time.perf_counter() - started   # invisible, unswitchable"""
+    example_good = """\
+with span("engine.phase"):
+    run_phase()
+# or, where the duration itself is the datum:
+from ..telemetry.clock import perf_seconds
+started = perf_seconds()"""
+    scopes = (
+        "repro/simulation/",
+        "repro/chain/",
+        "repro/core/",
+        "repro/protocols/",
+        "repro/agents/",
+        "repro/observers/",
+        "repro/campaigns/",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = ctx.import_aliases
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, aliases)
+            if name is None:
+                continue
+            if name in _AD_HOC_TIMERS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"ad-hoc timer `{name}()` in engine code; wrap the phase in "
+                    "telemetry.span(...) or read repro.telemetry.clock.perf_seconds()",
+                )
+            else:
+                attr = name.rsplit(".", 1)[-1]
+                if attr in _PRIVATE_PRIMITIVES and not name.startswith("."):
+                    # Relative in-package imports (leading dot) are the
+                    # telemetry plumbing itself wiring things together.
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"`{attr}` constructed outside the telemetry runtime; "
+                        "install a Telemetry via repro.telemetry.runtime instead",
+                    )

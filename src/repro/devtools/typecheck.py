@@ -1,0 +1,77 @@
+"""The mypy strict gate over the fully-typed packages.
+
+``repro.core``, ``repro.chain`` and ``repro.telemetry`` carry complete
+annotations and a ``py.typed`` marker; ``pyproject.toml`` pins the strict
+flag set for exactly those packages (everything else is grandfathered via
+``ignore_errors``).  This module shells out to mypy so ``repro lint
+--mypy`` and the CI ``static-analysis`` job run one entry point.
+
+mypy is a dev-only dependency (``requirements-dev.txt``); when it is not
+installed the gate reports that clearly instead of crashing, and plain
+``repro lint`` never requires it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["TypecheckResult", "mypy_available", "run_mypy"]
+
+#: Packages under the strict contract (matched by pyproject overrides).
+STRICT_PACKAGES = ("repro/core", "repro/chain", "repro/telemetry")
+
+
+@dataclass(frozen=True)
+class TypecheckResult:
+    """Outcome of one mypy run (or the reason it could not run)."""
+
+    available: bool
+    returncode: int
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        return self.available and self.returncode == 0
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(repo_root: Path | str) -> TypecheckResult:
+    """Run mypy over ``src/repro`` with the pyproject-pinned config.
+
+    The whole package is passed (not just the strict targets) so that the
+    per-module overrides in ``pyproject.toml`` stay the single source of
+    truth for which packages are strict and which are grandfathered.
+    """
+    repo_root = Path(repo_root)
+    if not mypy_available():
+        return TypecheckResult(
+            available=False,
+            returncode=1,
+            output=(
+                "mypy is not installed in this environment; install the dev "
+                "requirements (pip install -r requirements-dev.txt) to run "
+                "the strict typecheck gate"
+            ),
+        )
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml", "src/repro"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return TypecheckResult(
+        available=True,
+        returncode=proc.returncode,
+        output=(proc.stdout + proc.stderr).strip(),
+    )

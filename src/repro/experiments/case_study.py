@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analytics.reporting import format_table
-from ..analytics.common import usd
+from ..analytics.common import pinned_sum, usd
 from ..chain.chain import Blockchain, ChainConfig
 from ..chain.types import make_address
 from ..core.optimal_strategy import (
@@ -156,7 +156,7 @@ def _execute_strategy(name: str, repay_plan_usd: list[float]) -> StrategyExecuti
         name=name,
         repays_usd=tuple(repays),
         collateral_received_usd=received_usd,
-        profit_usd=received_usd - sum(repays),
+        profit_usd=received_usd - pinned_sum(repays),
     )
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..analytics.common import pinned_sum
 from ..analytics.gas_analysis import GasReport, gas_report
 from ..analytics.reporting import format_table
 from ..simulation.engine import SimulationResult
@@ -18,7 +19,7 @@ def render(report: GasReport) -> str:
     for point in report.points:
         by_platform.setdefault(point.platform, []).append(point.gas_price_gwei)
     rows = [
-        (platform, len(values), f"{sum(values) / len(values):,.1f}", f"{max(values):,.1f}")
+        (platform, len(values), f"{pinned_sum(values) / len(values):,.1f}", f"{max(values):,.1f}")
         for platform, values in sorted(by_platform.items())
     ]
     table = format_table(["Platform", "Liquidation txs", "Mean gas (gwei)", "Max gas (gwei)"], rows)

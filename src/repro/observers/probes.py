@@ -36,6 +36,8 @@ from .events import (
     InterestAccrued,
     LiquidationSettled,
     PriceUpdated,
+    RunCompleted,
+    RunStarted,
     SimEvent,
     SnapshotTaken,
     StepStarted,
@@ -55,6 +57,19 @@ class LiquidationRecorder:
     :mod:`repro.analytics.records` and both order by emission
     ``(block, log index)``.
     """
+
+    #: Everything that is not a settlement carries no liquidation record.
+    IGNORED_EVENTS = (
+        AuctionDealt,
+        BlockMined,
+        IncidentFired,
+        InterestAccrued,
+        PriceUpdated,
+        RunCompleted,
+        RunStarted,
+        SnapshotTaken,
+        StepStarted,
+    )
 
     def __init__(self) -> None:
         self._records: list[LiquidationRecord] = []
@@ -105,6 +120,18 @@ class HealthFactorWatcher:
     at-risk set; positions already below the threshold do not re-alert until
     they recover above it first.
     """
+
+    #: Health factors move only on price changes, accrual and mining; the
+    #: lifecycle/report events carry nothing a watcher reacts to.
+    IGNORED_EVENTS = (
+        AuctionDealt,
+        IncidentFired,
+        LiquidationSettled,
+        RunCompleted,
+        RunStarted,
+        SnapshotTaken,
+        StepStarted,
+    )
 
     def __init__(
         self,
@@ -187,6 +214,10 @@ class MetricsAccumulator:
     post-hoc shim cannot scope to the run: it counts every posted
     ``AnswerUpdated`` log, including scenario-construction posts).
     """
+
+    #: Accrual strides and run lifecycle markers add no per-step aggregate;
+    #: steps/blocks already delimit the run.
+    IGNORED_EVENTS = (InterestAccrued, RunCompleted, RunStarted)
 
     def __init__(self) -> None:
         self.steps = 0

@@ -16,9 +16,15 @@ from typing import IO, TYPE_CHECKING, Callable
 
 from .events import (
     AuctionDealt,
+    BlockMined,
     IncidentFired,
+    InterestAccrued,
     LiquidationSettled,
+    PriceUpdated,
+    RunCompleted,
+    RunStarted,
     SimEvent,
+    SnapshotTaken,
     StepStarted,
 )
 from .probes import AtRiskAlert, HealthFactorWatcher, LiquidationRecorder, MetricsAccumulator
@@ -48,6 +54,17 @@ class WatchSummary:
 
 class _ConsoleNarrator:
     """A probe that formats the stream into human-readable alert lines."""
+
+    #: The narrator prints only the headline moments; bookkeeping events
+    #: (mining, accrual, prices, snapshots, lifecycle) stay silent by design.
+    IGNORED_EVENTS = (
+        BlockMined,
+        InterestAccrued,
+        PriceUpdated,
+        RunCompleted,
+        RunStarted,
+        SnapshotTaken,
+    )
 
     def __init__(self, emit: Callable[[str], None], follow: bool) -> None:
         self.emit = emit

@@ -17,6 +17,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from .. import sanitize
 from ..chain.chain import Blockchain
 from ..chain.types import Address, make_address
 from ..core.position import DUST, Position
@@ -89,6 +90,7 @@ class LendingProtocol(abc.ABC):
         self.aggregate_backend: str = "vectorized"
         self._valuation_cache: BookValuation | None = None
         self._valuation_key: tuple[int, int, int] | None = None
+        self._valuation_hits = 0
         self.inception_block = chain.current_block if inception_block is None else inception_block
         self._total_borrowed_usd_estimate = 0.0
         self._last_accrual_block = self.chain.current_block
@@ -207,6 +209,8 @@ class LendingProtocol(abc.ABC):
                     "BookValuation cache lookups, by outcome",
                     ("platform", "outcome"),
                 ).labels(platform=self.name, outcome="hit").inc()
+            if sanitize.enabled():
+                self._check_valuation_coherence(cached)
             return cached
         if active is not None:
             active.counter(
@@ -221,6 +225,42 @@ class LendingProtocol(abc.ABC):
         self._valuation_key = (key[0], key[1], self.book.revision)
         self._valuation_cache = valuation
         return valuation
+
+    def _check_valuation_coherence(self, cached: BookValuation) -> None:
+        """Sanitizer: a cache hit must be as fresh as a recomputation.
+
+        Cheap checks on every hit: the cached valuation was built at the
+        book's *current* revision (a stale hit means some mutation path
+        forgot to bump the revision) and no dirty rows are pending behind
+        an unchanged revision (someone touched ``_dirty`` directly).  Every
+        sanitize-stride-th hit additionally rebuilds the valuation from the
+        live book and compares the value matrices bitwise — the strongest
+        statement that the cache key really covers every input.
+        """
+        if cached._built_at_revision != self.book.revision:
+            raise sanitize.SanitizerError(
+                f"{self.name} valuation cache hit is stale: cached at book "
+                f"revision {cached._built_at_revision}, book is at "
+                f"{self.book.revision}; a mutation path skipped the revision bump"
+            )
+        if self.book.dirty_rows:
+            raise sanitize.SanitizerError(
+                f"{self.name} valuation cache hit with {len(self.book.dirty_rows)} "
+                "dirty rows pending behind an unchanged revision: rows were "
+                "marked dirty without notifying the revision counter"
+            )
+        self._valuation_hits += 1
+        if self._valuation_hits % sanitize.stride() == 0:
+            rebuilt = self.book.valuation(self.prices(), self.liquidation_thresholds())
+            if not (
+                np.array_equal(rebuilt.collateral_values, cached.collateral_values)
+                and np.array_equal(rebuilt.debt_values, cached.debt_values)
+            ):
+                raise sanitize.SanitizerError(
+                    f"{self.name} cached valuation is not bitwise equal to a "
+                    "fresh rebuild at the same cache key: an input the key "
+                    "does not cover has changed (prices, thresholds or book rows)"
+                )
 
     def liquidatable_candidates(self, require_collateral: bool = False) -> list[Position]:
         """Positions with HF < 1, found by the columnar scan.
@@ -356,6 +396,7 @@ class LendingProtocol(abc.ABC):
         if self.uses_book_aggregates():
             borrowed = self.book.debt_total(symbol.upper())
         else:
+            # repro: lint-ok(SUM002 scalar reference backend: this walk *is* the pinned order)
             borrowed = sum(position.debt.get(symbol.upper(), 0.0) for position in self.positions.values())
         total = available + borrowed
         if total <= 0:
@@ -401,6 +442,7 @@ class LendingProtocol(abc.ABC):
         prices = self.prices()
         # The 0.0 start keeps the all-empty edge a float, matching the
         # pinned reduction's JSON token (sum alone would return int 0).
+        # repro: lint-ok(SUM002 scalar reference backend: this walk *is* the pinned order)
         return sum((position.total_collateral_usd(prices) for position in self.positions.values()), 0.0)
 
     def total_debt_usd(self) -> float:
@@ -408,6 +450,7 @@ class LendingProtocol(abc.ABC):
         if self.uses_book_aggregates():
             return self.valuation().pinned_total_debt_usd()
         prices = self.prices()
+        # repro: lint-ok(SUM002 scalar reference backend: this walk *is* the pinned order)
         return sum((position.total_debt_usd(prices) for position in self.positions.values()), 0.0)
 
     def collateral_volume_usd(self, symbols: Iterable[str] | None = None) -> float:

@@ -15,6 +15,11 @@ Rules:
 * tuples and lists become lists; sets become sorted lists;
 * dict keys are stringified (``{10.0: ...}`` → ``{"10.0": ...}``) because
   JSON object keys are always strings;
+* non-finite floats become the strings ``"NaN"`` / ``"Infinity"`` /
+  ``"-Infinity"`` — strict JSON has no token for them, and Python's default
+  ``json.dumps`` would emit bare ``NaN`` which ``JSON.parse`` and every
+  non-Python consumer reject (the run store dumps with ``allow_nan=False``
+  to enforce this at the write boundary);
 * anything else falls back to ``str(obj)``.
 
 The output contains only types ``json.dumps`` serialises natively, so
@@ -25,6 +30,7 @@ experiment (asserted over all experiment ids in the test suite).
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any
 
 import numpy as np
@@ -41,9 +47,22 @@ def _key(key: Any) -> str:
     return str(key)
 
 
+def _finite_float(value: float) -> float | str:
+    """Map non-finite floats onto their conventional string spellings."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
 def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` to JSON-round-trippable plain Python."""
-    if obj is None or isinstance(obj, (bool, int, str, float)):
+    if isinstance(obj, float):
+        # Checked before the catch-all scalar branch: json.dumps would
+        # happily emit bare ``NaN``/``Infinity`` tokens that are not JSON.
+        return _finite_float(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, np.generic):
         return to_jsonable(obj.item())

@@ -36,6 +36,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from .. import sanitize
 from ..amm.router import AmmRouter
 from ..chain.chain import Blockchain
 from ..chain.transaction import TxKind
@@ -348,9 +349,16 @@ class SimulationEngine:
         return exactly the same positions in the same order.
         """
         if self.scan_backend == "vectorized":
-            return protocol.liquidatable_candidates(require_collateral=require_collateral)
+            candidates = protocol.liquidatable_candidates(require_collateral=require_collateral)
+            if sanitize.enabled() and self.step_index % sanitize.stride() == 0:
+                self._cross_check_scan(protocol, require_collateral, candidates)
+            return candidates
         if self.scan_backend != "scalar":
             raise ValueError(f"unknown scan backend {self.scan_backend!r}")
+        return self._scalar_candidates(protocol, require_collateral)
+
+    def _scalar_candidates(self, protocol: LendingProtocol, require_collateral: bool) -> list[Position]:
+        """The reference backend: a scalar sweep of every indebted position."""
         prices = protocol.prices()
         thresholds = protocol.liquidation_thresholds()
         return [
@@ -359,6 +367,32 @@ class SimulationEngine:
             if (position.has_collateral or not require_collateral)
             and position.is_liquidatable(prices, thresholds)
         ]
+
+    def _cross_check_scan(
+        self,
+        protocol: LendingProtocol,
+        require_collateral: bool,
+        candidates: list[Position],
+    ) -> None:
+        """Sanitizer: the vectorized scan must equal the scalar sweep exactly.
+
+        The vectorized backend is only allowed to exist because its
+        margin-prefilter + scalar-confirmation construction returns the same
+        positions in the same order as the reference sweep.  This re-derives
+        the scalar answer every sanitize-stride-th step and insists on
+        identity — catching a desynchronised book (stale rows the dirty
+        tracking missed) at the step it first diverges.
+        """
+        reference = self._scalar_candidates(protocol, require_collateral)
+        if [id(p) for p in candidates] != [id(p) for p in reference]:
+            fast = [str(position.owner) for position in candidates]
+            slow = [str(position.owner) for position in reference]
+            raise sanitize.SanitizerError(
+                f"vectorized liquidation scan of {protocol.name} diverged from "
+                f"the scalar sweep at step {self.step_index} (block "
+                f"{self.chain.current_block}): vectorized={fast} scalar={slow}; "
+                "the position book no longer mirrors the position dictionaries"
+            )
 
     def fixed_spread_opportunities(self) -> list[LiquidationOpportunity]:
         """Liquidatable positions on the fixed spread protocols, this step."""

@@ -1,0 +1,29 @@
+"""The sanctioned monotonic clock for engine code.
+
+TEL005 bans raw ``time.perf_counter()`` calls in engine code: phase
+timings belong in telemetry spans, where one switch turns them off.  The
+narrow legitimate exception is code whose *datum* is a wall duration — the
+campaign executor reporting per-run worker seconds into the run record.
+Such code reads :func:`perf_seconds` instead, which keeps the dependency
+explicit, greppable, and mockable in one place (tests monkeypatch
+``_clock`` to make duration fields deterministic).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_seconds"]
+
+# The underlying clock, swappable by tests.
+_clock = time.perf_counter
+
+
+def perf_seconds() -> float:
+    """A monotonic timestamp in fractional seconds.
+
+    Durations (differences of two reads) are meaningful; absolute values
+    are not.  This is the only sanctioned raw-clock read in engine code —
+    everything else goes through telemetry spans.
+    """
+    return _clock()

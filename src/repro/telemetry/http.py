@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import threading
+from types import TracebackType
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .metrics import MetricsRegistry
@@ -66,7 +67,7 @@ class MetricsServer:
                 self.end_headers()
                 self.wfile.write(body)
 
-            def log_message(self, *args) -> None:  # noqa: A003
+            def log_message(self, *args: object) -> None:  # noqa: A003
                 """Silence per-request stderr lines (the CLI owns stderr)."""
 
         self._server = ThreadingHTTPServer((self.host, self.requested_port), Handler)
@@ -90,5 +91,10 @@ class MetricsServer:
     def __enter__(self) -> "MetricsServer":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.stop()

@@ -28,7 +28,7 @@ under the GIL).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 __all__ = [
     "Counter",
@@ -161,10 +161,10 @@ class _Family:
         else:
             self._default = None
 
-    def _make_child(self, label_values: tuple[str, ...]):
+    def _make_child(self, label_values: tuple[str, ...]) -> _Child:
         return self.child_type(label_values)
 
-    def labels(self, **labels: str):
+    def labels(self, **labels: str) -> _Child:
         """The child series for this label combination (created on first use)."""
         try:
             values = tuple(str(labels[name]) for name in self.labelnames)
@@ -177,11 +177,11 @@ class _Family:
             child = self._children[values] = self._make_child(values)
         return child
 
-    def _sorted_children(self):
+    def _sorted_children(self) -> list[_Child]:
         return [self._children[key] for key in sorted(self._children)]
 
     # Label-less convenience: the family proxies its single child.
-    def _only(self):
+    def _only(self) -> _Child:
         if self._default is None:
             raise ValueError(f"{self.name} has labels {self.labelnames}; use .labels(...)")
         return self._default
@@ -245,7 +245,7 @@ class Histogram(_Family):
         self.buckets = tuple(sorted(buckets))
         super().__init__(name, help, labelnames)
 
-    def _make_child(self, label_values: tuple[str, ...]):
+    def _make_child(self, label_values: tuple[str, ...]) -> _HistogramChild:
         return _HistogramChild(label_values, self.buckets)
 
     def observe(self, value: float) -> None:
@@ -284,7 +284,9 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._families)
 
-    def _get_or_create(self, factory: type, name: str, help: str, labelnames, **kwargs):
+    def _get_or_create(
+        self, factory: type, name: str, help: str, labelnames: Iterable[str], **kwargs: Any
+    ) -> _Family:
         labelnames = tuple(labelnames)
         family = self._families.get(name)
         if family is not None:

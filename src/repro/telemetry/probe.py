@@ -17,9 +17,13 @@ from ..observers.events import (
     AuctionDealt,
     BlockMined,
     IncidentFired,
+    InterestAccrued,
     LiquidationSettled,
     PriceUpdated,
+    RunCompleted,
+    RunStarted,
     SimEvent,
+    SnapshotTaken,
     StepStarted,
 )
 from .metrics import MetricsRegistry
@@ -29,6 +33,10 @@ __all__ = ["TelemetryProbe"]
 
 class TelemetryProbe:
     """Feeds the event stream into counters, gauges and histograms."""
+
+    #: Already counted by the uniform per-kind counter on the first line of
+    #: ``on_event``; they update no dedicated gauge or histogram beyond it.
+    IGNORED_EVENTS = (InterestAccrued, RunCompleted, RunStarted, SnapshotTaken)
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry

@@ -25,10 +25,11 @@ discipline — and the same test matrix shape — as the observer bus).
 from __future__ import annotations
 
 from contextlib import contextmanager
+from types import TracebackType
 from typing import Any, Iterator, Mapping
 
-from .metrics import MetricsRegistry
-from .spans import Tracer, aggregate_spans
+from .metrics import Counter, MetricsRegistry
+from .spans import Tracer, _OpenSpan, aggregate_spans
 
 __all__ = [
     "Telemetry",
@@ -48,7 +49,12 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
 
@@ -66,11 +72,11 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
 
-    def span(self, name: str, args: Mapping[str, Any] | None = None):
+    def span(self, name: str, args: Mapping[str, Any] | None = None) -> _OpenSpan:
         """A tracing span on this instance's tracer."""
         return self.tracer.span(name, args)
 
-    def counter(self, name: str, help: str = "", labelnames=()):
+    def counter(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> Counter:
         """Shortcut to :meth:`MetricsRegistry.counter`."""
         return self.registry.counter(name, help, labelnames)
 
@@ -126,7 +132,7 @@ def enabled(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
         _active = previous
 
 
-def span(name: str, args: Mapping[str, Any] | None = None):
+def span(name: str, args: Mapping[str, Any] | None = None) -> _NoopSpan | _OpenSpan:
     """A span on the active tracer, or the shared no-op when telemetry is off.
 
     This is the helper the instrumented packages import; its disabled path

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from types import TracebackType
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -77,7 +78,12 @@ class _OpenSpan:
         self.start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         end_ns = time.perf_counter_ns()
         tracer = self.tracer
         stack = tracer._stack
@@ -147,7 +153,7 @@ class Tracer:
         events.sort(key=lambda event: event["ts"])
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path) -> None:
+    def write_chrome_trace(self, path: str) -> None:
         """Serialise :meth:`chrome_trace` to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.chrome_trace(), handle)
