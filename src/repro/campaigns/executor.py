@@ -125,12 +125,18 @@ def _valuation_cache_stats(snapshot: dict[str, float]) -> dict:
     }
 
 
-def execute_job(job: RunJob) -> RunOutcome:
+def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
     """Execute one run end-to-end and persist it (runs inside workers).
 
     Failures are captured and reported back as the outcome's ``error``
     instead of raised, so one pathological run cannot abort a campaign (the
     other workers' completed runs are already durable in the store).
+
+    ``extra_probes`` are additional ``engine -> probe`` factories attached
+    after the standard recorder/metrics pair — the service worker streams
+    its event sink and health sampler through here.  They never cross a
+    process boundary (the pool path always passes the default), so the
+    :class:`RunJob` payload stays plainly picklable.
 
     When ``job.collect_telemetry`` is set, the worker installs a
     :class:`~repro.telemetry.runtime.Telemetry` for the duration of the run
@@ -159,6 +165,7 @@ def execute_job(job: RunJob) -> RunOutcome:
             builder.with_probes(
                 lambda engine: LiquidationRecorder(),
                 lambda engine: MetricsAccumulator(),
+                *extra_probes,
             )
             with span("job.build"):
                 engine = builder.build()

@@ -9,6 +9,7 @@ subsystem::
     python -m repro watch march-2020-only --hf-below 1.1 --follow
     python -m repro trace march-2020-only --chrome trace.json
     python -m repro sweep --scenario march-2020-only --seeds 8 --workers 4
+    python -m repro serve --port 9464 --store runs --workers 4
     python -m repro compare
 
 ``run`` builds one scenario through
@@ -20,7 +21,12 @@ liquidations and fired incidents to stdout while the world advances
 fans a multi-seed campaign out over a worker pool, persisting every run to
 the on-disk store (``runs/`` by default) so re-running the same sweep
 resumes instead of re-simulating; ``compare`` renders cross-seed statistics
-(mean / stddev / 95 % CI per scalar field) from the store.  Progress lines
+(mean / stddev / 95 % CI per scalar field) from the store.  ``serve`` turns
+the same machinery into a long-running service: an asyncio supervisor
+executing submitted run/sweep jobs in worker subprocesses, with job
+submission and dashboards over HTTP (``POST /jobs``, ``GET /jobs``,
+``/alerts``, ``/metrics``) and graceful drain on SIGINT/SIGTERM — see
+:mod:`repro.service`.  Progress lines
 go to stderr so reports stay pipeable.  Installed via ``pip install -e .``
 the same interface is available as the ``repro`` console script.
 """
@@ -150,6 +156,90 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id to compute per run (repeatable); default: all",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation service: concurrent job execution with an HTTP job/alert/metrics surface",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /jobs, /alerts, /health and /metrics on PORT (0 = ephemeral)",
+    )
+    serve_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, metavar="W", help="concurrent worker subprocesses (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--run",
+        action="append",
+        default=None,
+        metavar="SCENARIO[:SEED]",
+        help="submit a single-run job at startup (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--sweep",
+        default=None,
+        metavar="SCENARIO",
+        help="submit a sweep job at startup (uses --seeds/--base-seed/--grid)",
+    )
+    serve_parser.add_argument("--seeds", type=int, default=4, metavar="N", help="seeds for the --sweep job")
+    serve_parser.add_argument("--base-seed", type=int, default=0, help="SeedSequence entropy for the --sweep job")
+    serve_parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="builder override applied to startup jobs (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help="swept override axis for the --sweep job (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--report",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="experiment id computed per run (repeatable); default: all",
+    )
+    serve_parser.add_argument("--campaign", default=None, help="campaign name for startup jobs")
+    serve_parser.add_argument(
+        "--hf-warning", type=float, default=1.05, metavar="HF", help="warning-tier health factor (default: 1.05)"
+    )
+    serve_parser.add_argument(
+        "--hf-critical", type=float, default=1.0, metavar="HF", help="critical-tier health factor (default: 1.0)"
+    )
+    serve_parser.add_argument(
+        "--cooldown-blocks",
+        type=int,
+        default=7200,
+        metavar="N",
+        help="blocks between repeat alerts for one position/tier (default: 7200, ~1 day)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="grace period for in-flight runs after SIGINT/SIGTERM before workers are terminated",
+    )
+    serve_parser.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit once every submitted job has finished (instead of serving forever)",
+    )
+    serve_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="do not re-enqueue incomplete journalled jobs from a previous service run",
+    )
+
     # ``lint`` owns its full argument surface in repro.devtools.cli; main()
     # delegates before this parser ever sees the arguments.  The stub makes
     # the subcommand discoverable in ``repro --help``.
@@ -276,6 +366,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     from .observers.watch import watch_run
+    from .service.signals import termination_as_interrupt
 
     try:
         definition = scenarios.get(args.scenario)
@@ -298,14 +389,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     emit = _status if jsonl is sys.stdout else print
     started = time.perf_counter()
     try:
-        summary = watch_run(
-            builder,
-            hf_below=args.hf_below,
-            follow=args.follow,
-            jsonl=jsonl,
-            emit=emit,
-            metrics_port=args.metrics_port,
-        )
+        # SIGTERM gets the same graceful path as Ctrl-C: sinks flushed,
+        # probes finalized, exit 0 — so supervisors (systemd, CI, the
+        # service) can stop a watch without losing its stream.
+        with termination_as_interrupt():
+            summary = watch_run(
+                builder,
+                hf_below=args.hf_below,
+                follow=args.follow,
+                jsonl=jsonl,
+                emit=emit,
+                metrics_port=args.metrics_port,
+            )
     except KeyboardInterrupt:
         # Interrupted before the engine even started (e.g. during build).
         _status("watch interrupted")
@@ -432,6 +527,98 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import AlertPolicy, ServiceConfig, ServiceSupervisor
+    from .service.jobs import SubmissionError
+
+    report_ids = _dedupe(args.report) if args.report else None
+    if report_ids:
+        unknown = _validate_reports(report_ids, allow_all=False)
+        if unknown:
+            _status(f"error: unknown report id(s) {', '.join(unknown)}; known: {', '.join(EXPERIMENT_IDS)}")
+            return 2
+
+    try:
+        overrides = dict(_parse_override(item) for item in (args.overrides or []))
+        grid = {
+            key: [value for value in values.split(",") if value]
+            for key, values in (_parse_override(item) for item in (args.grid or []))
+        }
+        policy = AlertPolicy(
+            warning_hf=args.hf_warning,
+            critical_hf=args.hf_critical,
+            cooldown_blocks=args.cooldown_blocks,
+        )
+    except ValueError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    if args.port is None and not args.run and not args.sweep:
+        _status("error: nothing to do — pass --port for the submission API and/or --run/--sweep startup jobs")
+        return 2
+
+    supervisor = ServiceSupervisor(
+        ServiceConfig(
+            store_root=args.store,
+            workers=args.workers,
+            policy=policy,
+            drain_timeout=args.drain_timeout,
+            resume=not args.no_resume,
+        )
+    )
+    try:
+        for item in args.run or []:
+            scenario, _, seed = item.partition(":")
+            payload: dict = {"kind": "run", "scenario": scenario, "overrides": overrides}
+            if seed:
+                payload["seed"] = int(seed)
+            if report_ids:
+                payload["experiments"] = report_ids
+            if args.campaign:
+                payload["campaign"] = args.campaign
+            summary = supervisor.submit(payload)
+            _status(f"queued {summary['job_id']}: run {scenario}")
+        if args.sweep:
+            payload = {
+                "kind": "sweep",
+                "scenario": args.sweep,
+                "seeds": args.seeds,
+                "base_seed": args.base_seed,
+                "overrides": overrides,
+                "grid": grid,
+            }
+            if report_ids:
+                payload["experiments"] = report_ids
+            if args.campaign:
+                payload["campaign"] = args.campaign
+            summary = supervisor.submit(payload)
+            _status(f"queued {summary['job_id']}: sweep {args.sweep} ({summary['runs']['total']} runs)")
+    except SubmissionError as error:
+        _status(f"error: {error.args[0]}")
+        return 2
+
+    _status(
+        f"service: store {args.store}, {args.workers} worker(s), "
+        f"alerts warn<{policy.warning_hf} crit<{policy.critical_hf} "
+        f"cooldown {policy.cooldown_blocks} blocks"
+    )
+    try:
+        result = asyncio.run(
+            supervisor.serve(
+                http_port=args.port,
+                exit_when_idle=args.exit_when_idle,
+                announce=_status,
+            )
+        )
+    except KeyboardInterrupt:
+        # Signal landed outside the loop's handlers (e.g. during startup).
+        _status("serve interrupted")
+        return 0
+    return 1 if result.failed_runs else 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .campaigns import RunStore, aggregate_campaign, render_comparison
     from .serialize import to_jsonable
@@ -503,6 +690,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_reports(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "compare":
         return _cmd_compare(args)
     parser.print_help()

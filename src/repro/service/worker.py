@@ -1,0 +1,143 @@
+"""The service worker: one run per subprocess, events streamed to stdout.
+
+The supervisor launches ``python -m repro.service.worker '<payload JSON>'``
+per run.  The worker rebuilds the :class:`~repro.campaigns.spec.RunSpec`
+from the payload, executes it through the campaign executor's
+:func:`~repro.campaigns.executor.execute_job` — the exact code path a
+standalone sweep takes, so the store artifacts are bit-identical — with two
+extra probes attached: a :class:`~repro.observers.sinks.JsonlSink` writing
+the full typed event stream to stdout and a
+:class:`~repro.service.probes.HealthSampleProbe` interleaving ``hf_sample``
+service lines for the parent's alert engine.  The final line is always a
+``job_result`` service message; stderr carries anything human.
+
+SIGTERM is delivered as ``KeyboardInterrupt`` (the shared
+:mod:`~repro.service.signals` helper): a drained worker stops mid-run,
+reports ``interrupted`` on its result line, and exits 0 — the store is
+untouched mid-run except for experiment files without a manifest, which the
+resume contract re-executes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Any, Sequence
+
+from ..campaigns.executor import RunJob, execute_job
+from ..campaigns.spec import RunSpec
+from ..observers.sinks import JsonlSink
+from ..telemetry.clock import perf_seconds
+from .probes import HealthSampleProbe
+from .signals import termination_as_interrupt
+from .transport import encode_message
+
+__all__ = ["job_payload", "main", "run_worker"]
+
+#: Default sampling threshold: a margin above the default warning tier so
+#: the alert engine sees positions approaching the tiers, not only in them.
+DEFAULT_SAMPLE_BELOW = 1.1
+
+
+def job_payload(
+    job: RunJob, *, sample_below: float = DEFAULT_SAMPLE_BELOW
+) -> dict[str, Any]:
+    """The worker's argv payload for one run (plain JSON, no pickling)."""
+    return {
+        "store_root": job.store_root,
+        "campaign": job.campaign,
+        "scenario": job.run.scenario,
+        "overrides": [[key, value] for key, value in job.run.overrides],
+        "seed": job.run.seed,
+        "seed_index": job.run.seed_index,
+        "variant": job.run.variant,
+        "experiments": list(job.experiments),
+        "telemetry": job.collect_telemetry,
+        "sample_below": sample_below,
+    }
+
+
+def job_from_payload(payload: dict[str, Any]) -> RunJob:
+    """Rebuild the executor job from a :func:`job_payload` dict."""
+    run = RunSpec(
+        scenario=payload["scenario"],
+        overrides=tuple((key, value) for key, value in payload["overrides"]),
+        seed=payload["seed"],
+        seed_index=payload["seed_index"],
+        variant=payload["variant"],
+    )
+    return RunJob(
+        store_root=payload["store_root"],
+        campaign=payload["campaign"],
+        run=run,
+        experiments=tuple(payload["experiments"]),
+        collect_telemetry=bool(payload.get("telemetry", True)),
+    )
+
+
+def run_worker(payload: dict[str, Any], stream: IO[str]) -> int:
+    """Execute one run, streaming events and the final result to ``stream``."""
+    job = job_from_payload(payload)
+    sample_below = float(payload.get("sample_below", DEFAULT_SAMPLE_BELOW))
+    sink = JsonlSink(stream)
+    started = perf_seconds()
+    try:
+        with termination_as_interrupt():
+            outcome = execute_job(
+                job,
+                extra_probes=(
+                    lambda engine: sink,
+                    lambda engine: HealthSampleProbe(
+                        stream, engine.protocols, sample_below=sample_below
+                    ),
+                ),
+            )
+    except KeyboardInterrupt:
+        # Drain: the run stops where it is; without a manifest the store
+        # treats it as never-run, so a restarted service re-executes it.
+        stream.write(
+            encode_message(
+                {
+                    "service": "job_result",
+                    "run_id": job.run.run_id,
+                    "interrupted": True,
+                    "error": None,
+                    "elapsed_seconds": round(perf_seconds() - started, 3),
+                    "events_streamed": sink.events_written,
+                }
+            )
+        )
+        stream.flush()
+        return 0
+    stream.write(
+        encode_message(
+            {
+                "service": "job_result",
+                "run_id": outcome.run_id,
+                "interrupted": False,
+                "error": outcome.error,
+                "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+                "events_streamed": sink.events_written,
+            }
+        )
+    )
+    stream.flush()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: payload as the single argument, or on stdin."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    raw = argv[0] if argv else sys.stdin.read()
+    payload = json.loads(raw)
+    # Line buffering keeps the parent's dashboards live without per-event
+    # flush calls in the probes.
+    try:
+        sys.stdout.reconfigure(line_buffering=True)
+    except AttributeError:  # pragma: no cover - non-standard stdout in tests
+        pass
+    return run_worker(payload, sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

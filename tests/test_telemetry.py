@@ -273,6 +273,18 @@ class TestMetrics:
         exposition = registry.exposition()
         assert 'kind="he said \\"hi\\"\\nbye\\\\"' in exposition
 
+    def test_label_escaping_golden(self):
+        """Every escapable character, pinned as the exact exposition text."""
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_jobs_total", "Jobs", ("campaign",))
+        counter.labels(campaign='back\\slash "quoted"\nnewline').inc(2)
+        expected = (
+            "# HELP repro_jobs_total Jobs\n"
+            "# TYPE repro_jobs_total counter\n"
+            'repro_jobs_total{campaign="back\\\\slash \\"quoted\\"\\nnewline"} 2\n'
+        )
+        assert registry.exposition() == expected
+
     def test_snapshot_flat_view(self):
         registry = MetricsRegistry()
         registry.counter("repro_events_total", "", ("kind",)).labels(kind="X").inc(4)
@@ -289,13 +301,20 @@ class TestMetricsServer:
         registry.counter("repro_events_total", "Events").inc(5)
         with MetricsServer(registry, port=0) as server:
             base = f"http://127.0.0.1:{server.port}"
-            body = urllib.request.urlopen(f"{base}/metrics").read().decode()
-            assert "repro_events_total 5" in body
-            health = json.loads(urllib.request.urlopen(f"{base}/health").read())
-            assert health == {"status": "ok"}
+            with urllib.request.urlopen(f"{base}/metrics") as response:
+                assert response.headers["Content-Type"] == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+                assert "repro_events_total 5" in response.read().decode()
+            with urllib.request.urlopen(f"{base}/health") as response:
+                assert response.headers["Content-Type"] == "application/json; charset=utf-8"
+                assert json.loads(response.read()) == {"status": "ok"}
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(f"{base}/nope")
             assert excinfo.value.code == 404
+            # A JSON body naming the missing path, not an HTML error page.
+            assert excinfo.value.headers["Content-Type"] == "application/json; charset=utf-8"
+            assert json.loads(excinfo.value.read()) == {"error": "not found", "path": "/nope"}
 
 
 class _Interrupter:
