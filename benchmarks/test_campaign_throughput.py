@@ -1,70 +1,128 @@
-"""Benchmark — parallel-vs-serial throughput of a multi-seed campaign sweep.
+"""Benchmark — campaign throughput across execution backends and worker counts.
 
-Not a paper artefact: this measures the campaign executor's fan-out, the
-layer every scaling PR builds on.  Four independent seeds of the truncated
-``small`` window are swept twice into throwaway stores — once serially, once
-over a 4-process pool — and the speedup is printed for comparison across
-machines.  No floor is asserted (pool start-up costs dominate on small
-windows and single-core CI runners can be slower in parallel); the
-benchmark's job is to report the number, not to gate on it.
+Not a paper artefact: this measures the campaign fan-out layer the "millions
+of runs" north star rests on.  Eight independent seeds of the truncated
+``small`` window are swept once serially (the ground truth) and then through
+the persistent backend at workers ∈ {1, 2, 4} — each count measured twice,
+cold (fresh workers, first dispatch pays interpreter start-up and scenario
+import) and warm (same workers, stores cleared, template caches primed) —
+yielding the scaling curve.
 
-With ``BENCH_RECORD=1`` the result is written to ``BENCH_campaign.json`` at
-the repo root, feeding the cross-commit ``BENCH_trajectory.json`` the CI
-benchmark job merges and uploads.
+The speedup floors are **host-aware** (the previous fixed floor was recorded
+unsatisfiable on a ``cpu_count: 1`` runner):
+
+* ``cpu_count >= 4``: the warm 4-worker sweep must reach ≥ 2.5× serial;
+* ``cpu_count >= 2``: the warm 2-worker sweep must beat serial (≥ 1.2×);
+* single-core hosts: parallelism cannot win, so the check inverts into a
+  bounded-overhead assertion — the warm 4-worker sweep may cost at most
+  1.3× serial.
+
+Floors are asserted only under ``BENCH_ENFORCE=1`` (the CI benchmark job);
+an un-flagged local run just prints the curve.  With ``BENCH_RECORD=1`` the
+full curve is written to ``BENCH_campaign.json`` at the repo root, feeding
+the cross-commit ``BENCH_trajectory.json`` the CI benchmark job merges.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import platform
+import shutil
 import tempfile
 import time
 from pathlib import Path
 
 from conftest import write_bench_record
 
-from repro.campaigns import CampaignExecutor, CampaignSpec, RunStore
+from repro.campaigns import CampaignExecutor, CampaignSpec, PersistentBackend, RunStore
 
 SPEC = dict(
     scenario="small",
-    seeds=4,
+    seeds=8,
     overrides={"end_block": 9_780_000},
     experiments=("table1", "fig4"),
 )
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
 
-
-def sweep(workers: int) -> tuple[float, int]:
-    """Run the campaign into a fresh store; return (seconds, runs executed)."""
-    with tempfile.TemporaryDirectory() as root:
-        executor = CampaignExecutor(CampaignSpec(**SPEC), RunStore(root), workers=workers)
-        started = time.perf_counter()
-        result = executor.execute()
-        return time.perf_counter() - started, len(result.executed)
+#: Worker counts sampled for the persistent-backend scaling curve.
+CURVE_WORKERS = (1, 2, 4)
 
 
-def test_campaign_throughput():
-    serial_seconds, serial_runs = sweep(workers=1)
-    parallel_seconds, parallel_runs = sweep(workers=4)
-    assert serial_runs == parallel_runs == 4
-    speedup = serial_seconds / parallel_seconds
+def _sweep(root: str, backend) -> float:
+    """Execute the campaign into ``root``; returns wall-clock seconds."""
+    executor = CampaignExecutor(CampaignSpec(**SPEC), RunStore(root), backend=backend)
+    started = time.perf_counter()
+    result = executor.execute()
+    elapsed = time.perf_counter() - started
+    assert len(result.executed) == SPEC["seeds"], result.failed
+    return elapsed
+
+
+def test_campaign_throughput_scaling_curve():
+    cpu_count = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_seconds = _sweep(f"{tmp}/serial", backend=None)
+
+        curve = []
+        for workers in CURVE_WORKERS:
+            with PersistentBackend(workers=workers) as backend:
+                cold = _sweep(f"{tmp}/cold-{workers}", backend)
+                # Same workers, fresh store: interpreter start-up and warm
+                # caches are already paid, leaving pure dispatch + compute.
+                shutil.rmtree(f"{tmp}/cold-{workers}", ignore_errors=True)
+                warm = _sweep(f"{tmp}/warm-{workers}", backend)
+            curve.append(
+                {
+                    "workers": workers,
+                    "cold_seconds": round(cold, 3),
+                    "warm_seconds": round(warm, 3),
+                    "cold_speedup": round(serial_seconds / cold, 3),
+                    "warm_speedup": round(serial_seconds / warm, 3),
+                }
+            )
+
+    by_workers = {point["workers"]: point for point in curve}
+    print(f"\ncampaign sweep, {SPEC['seeds']} seeds, serial {serial_seconds:.2f}s (cpu_count {cpu_count})")
+    for point in curve:
+        print(
+            f"  persistent x{point['workers']}: cold {point['cold_seconds']:.2f}s "
+            f"({point['cold_speedup']:.2f}x), warm {point['warm_seconds']:.2f}s "
+            f"({point['warm_speedup']:.2f}x)"
+        )
 
     if os.environ.get("BENCH_RECORD"):
         record = {
             "benchmark": "campaign_throughput",
+            "backend": "persistent",
             "seeds": SPEC["seeds"],
+            "serial_seconds": round(serial_seconds, 3),
+            "curve": curve,
+            # Compatibility fields for the cross-commit trajectory: the
+            # headline remains the 4-worker warm speedup.
             "workers": 4,
-            "serial_seconds": serial_seconds,
-            "parallel_seconds": parallel_seconds,
-            "speedup": speedup,
+            "parallel_seconds": by_workers[4]["warm_seconds"],
+            "speedup": by_workers[4]["warm_speedup"],
             "python": platform.python_version(),
         }
         write_bench_record(BENCH_PATH, record)
 
-    print(
-        f"\ncampaign sweep, 4 seeds: serial {serial_seconds:.2f}s, "
-        f"4 workers {parallel_seconds:.2f}s, "
-        f"speedup {speedup:.2f}x"
-    )
+    if os.environ.get("BENCH_ENFORCE"):
+        if cpu_count >= 4:
+            assert by_workers[4]["warm_speedup"] >= 2.5, (
+                f"4-worker warm sweep reached only {by_workers[4]['warm_speedup']:.2f}x "
+                f"on a {cpu_count}-core host (floor: 2.5x)"
+            )
+        if cpu_count >= 2:
+            assert by_workers[2]["warm_speedup"] >= 1.2, (
+                f"2-worker warm sweep reached only {by_workers[2]['warm_speedup']:.2f}x "
+                f"on a {cpu_count}-core host (floor: 1.2x)"
+            )
+        else:
+            # Single core: parallelism cannot win; it must at least not hurt
+            # by more than dispatch overhead.
+            overhead = by_workers[4]["warm_seconds"] / serial_seconds
+            assert overhead <= 1.3, (
+                f"4-worker warm sweep cost {overhead:.2f}x serial on a single-core "
+                "host (bounded-overhead ceiling: 1.3x)"
+            )

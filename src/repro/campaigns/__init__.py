@@ -7,9 +7,13 @@ statistically meaningful collections of runs:
   named scenario (or a grid of builder overrides) crossed with a
   ``SeedSequence``-derived seed range, expanding to picklable
   :class:`RunSpec` triples;
-* :mod:`repro.campaigns.executor` — :class:`CampaignExecutor`, the
-  scenario-loop driver that fans runs out over a ``multiprocessing`` pool
-  (with a serial fallback) and resumes from the store;
+* :mod:`repro.campaigns.backends` — the pluggable :class:`ExecutionBackend`
+  protocol and its implementations (``serial`` / ``spawn`` /
+  ``persistent``), plus :class:`WorkerConfig`, the one worker-configuration
+  surface shared by the executor, ``repro sweep`` and ``repro serve``;
+* :mod:`repro.campaigns.executor` — :class:`CampaignExecutor`, the driver
+  that expands a spec, resumes completed runs from the store, and fans the
+  rest out over an execution backend;
 * :mod:`repro.campaigns.store` — :class:`RunStore`, the on-disk layout
   ``runs/<campaign>/<run_id>/manifest.json`` + per-experiment JSON;
 * :mod:`repro.campaigns.aggregate` — cross-seed statistics (mean / stddev /
@@ -18,17 +22,22 @@ statistically meaningful collections of runs:
 Quickstart::
 
     from repro.campaigns import CampaignExecutor, CampaignSpec, RunStore
-    from repro.campaigns import aggregate_campaign, render_comparison
 
     spec = CampaignSpec(scenario="march-2020-only", seeds=8)
     store = RunStore("runs")
-    CampaignExecutor(spec, store, workers=4).execute()
+    CampaignExecutor(spec, store, backend="persistent").execute()
+
+    from repro.campaigns import aggregate_campaign, render_comparison
     print(render_comparison(aggregate_campaign(store, spec.campaign)))
 
 or, from the shell::
 
     repro sweep --scenario march-2020-only --seeds 8 --workers 4
     repro compare
+
+``--workers 4`` auto-selects the persistent backend; pin one explicitly
+with ``--backend serial|spawn|persistent``.  All backends produce
+byte-identical store files, so the choice is purely about throughput.
 """
 
 from .aggregate import (
@@ -40,25 +49,48 @@ from .aggregate import (
     render_comparison,
     scalar_fields,
 )
-from .executor import CampaignExecutor, CampaignResult, RunJob, execute_job
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    PersistentBackend,
+    SerialBackend,
+    SpawnBackend,
+    TaskBatch,
+    WorkerConfig,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from .executor import CampaignExecutor, CampaignResult, RunJob, WarmRunContext, execute_job
 from .spec import OVERRIDE_KEYS, CampaignSpec, RunSpec, apply_overrides, spawn_seeds
 from .store import RunStore
 
 __all__ = [
+    "BACKEND_NAMES",
     "CampaignAggregate",
     "CampaignExecutor",
     "CampaignResult",
     "CampaignSpec",
+    "ExecutionBackend",
     "ExperimentStats",
     "FieldStats",
     "OVERRIDE_KEYS",
+    "PersistentBackend",
     "RunJob",
     "RunSpec",
     "RunStore",
+    "SerialBackend",
+    "SpawnBackend",
+    "TaskBatch",
     "VariantAggregate",
+    "WarmRunContext",
+    "WorkerConfig",
     "aggregate_campaign",
     "apply_overrides",
+    "backend_names",
+    "create_backend",
     "execute_job",
+    "register_backend",
     "render_comparison",
     "scalar_fields",
     "spawn_seeds",

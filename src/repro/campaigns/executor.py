@@ -1,28 +1,37 @@
-"""Campaign execution: a scenario-loop driver with a process-pool fan-out.
+"""Campaign execution: job expansion, per-run execution, backend dispatch.
 
 :class:`CampaignExecutor` expands a :class:`~repro.campaigns.spec.CampaignSpec`
-into runs, skips the ones the store already holds (resume), and executes the
-rest — serially, or over a ``multiprocessing`` spawn pool when ``workers > 1``.
+into runs, skips the ones the store already holds (resume), and hands the
+rest to an :class:`~repro.campaigns.backends.ExecutionBackend` — serial,
+a per-campaign spawn pool, or the persistent worker runtime (see
+:mod:`repro.campaigns.backends`).
 
 Only :class:`RunJob` (plain strings/ints/tuples) crosses the process
 boundary; each worker rebuilds its world from ``(scenario, overrides, seed)``
 via the scenario registry, runs it, and writes the experiment JSON straight
 into the store.  Because every run is independently seeded and the store
 serialises deterministically, serial and parallel execution produce
-byte-identical per-run files.
+byte-identical per-run files.  Persistent workers additionally keep a
+:class:`WarmRunContext` — a cache of immutable, seed-determined ingredients
+(the price feed) reused across the grid points assigned to them — without
+touching that contract: everything mutable is rebuilt per run and
+``reset_run_state()`` still rewinds the global counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
+import warnings
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..experiments.runner import run_json
 from ..observers.probes import LiquidationRecorder, MetricsAccumulator
 from ..runtime_state import reset_run_state
+from ..scenarios.builder import ScenarioBuilder, default_price_feed
 from ..serialize import to_jsonable
 from ..telemetry import runtime as telemetry_runtime
 from ..telemetry.clock import perf_seconds
@@ -30,7 +39,17 @@ from ..telemetry.runtime import Telemetry, span
 from .spec import CampaignSpec, RunSpec
 from .store import RunStore
 
-__all__ = ["CampaignExecutor", "CampaignResult", "RunJob", "execute_job"]
+if TYPE_CHECKING:
+    from ..oracle.feed import PriceFeed
+    from .backends import ExecutionBackend, WorkerConfig
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignResult",
+    "RunJob",
+    "WarmRunContext",
+    "execute_job",
+]
 
 #: Progress callback: ``(done, total, run_id, status, elapsed_seconds)``.
 ProgressCallback = Callable[[int, int, str, str, float], None]
@@ -49,6 +68,11 @@ class RunJob:
     run: RunSpec
     experiments: tuple[str, ...]
     collect_telemetry: bool = True
+    #: The worker configuration that dispatched this job, recorded into the
+    #: run manifest (``"execution"``) so a resumed sweep can tell which
+    #: backend produced each run.  ``None`` (direct ``execute_job`` calls,
+    #: the service's streaming path) writes no execution block.
+    worker_config: "WorkerConfig | None" = None
 
 
 @dataclass(frozen=True)
@@ -77,6 +101,8 @@ class CampaignResult:
     resumed: list[str] = field(default_factory=list)
     failed: dict[str, str] = field(default_factory=dict)  # run_id -> error
     elapsed_seconds: float = 0.0
+    #: Name of the execution backend that ran the campaign.
+    backend: str = "serial"
     #: Per-worker utilisation aggregated from run telemetry:
     #: ``worker -> {"tasks", "busy_seconds", "idle_seconds"}``.
     workers: dict[str, dict] = field(default_factory=dict)
@@ -86,9 +112,10 @@ class CampaignResult:
         return len(self.executed) + len(self.resumed) + len(self.failed)
 
 
-#: Per-process worker state, keyed once per interpreter.  Pool workers are
-#: long-lived across tasks, so ``last_end`` carries from one task to the
-#: next and the gap is genuine idle time (waiting on the parent's dispatch).
+#: Per-process worker state, keyed once per interpreter.  Pool and
+#: persistent workers are long-lived across tasks, so ``last_end`` carries
+#: from one task to the next and the gap is genuine idle time (waiting on
+#: the parent's dispatch).
 _WORKER_STATE: dict[str, float | int] = {}
 
 
@@ -125,7 +152,65 @@ def _valuation_cache_stats(snapshot: dict[str, float]) -> dict:
     }
 
 
-def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
+class WarmRunContext:
+    """A worker's cache of deterministic run ingredients reused across tasks.
+
+    Persistent workers receive *batches* of runs grouped by
+    :attr:`~repro.campaigns.spec.RunSpec.warm_key` — same scenario, same
+    feed-relevant overrides, same seed — so the scenario template they warm
+    up for the first run of a group is valid for the rest.  Only immutable,
+    seed-determined values are cached: today that is the
+    :class:`~repro.oracle.feed.PriceFeed` (never mutated after
+    construction, built purely from ``(scenario, overrides, seed)`` without
+    consuming the builder RNG).  Everything mutable — chain, protocols,
+    agents, probes — is rebuilt per run, and ``reset_run_state()`` still
+    rewinds the global counters, so warm execution stays byte-identical
+    with cold execution.
+
+    Scenarios installing a *custom* feed factory are never cached: a custom
+    factory may read the build context (including ``ctx.rng``), so skipping
+    it could change the world.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = max(int(capacity), 1)
+        self.feed_hits = 0
+        self.feed_builds = 0
+        self._feeds: "OrderedDict[tuple, PriceFeed]" = OrderedDict()
+
+    def builder_for(self, run: RunSpec) -> ScenarioBuilder:
+        """A fresh builder for ``run``, with cached ingredients injected."""
+        builder = run.builder()
+        if builder.feed_factory is not default_price_feed:
+            return builder
+        key = run.warm_key
+        feed = self._feeds.get(key)
+        if feed is None:
+            feed = builder.build_feed()
+            self.feed_builds += 1
+            self._feeds[key] = feed
+            while len(self._feeds) > self.capacity:
+                self._feeds.popitem(last=False)
+        else:
+            self.feed_hits += 1
+            self._feeds.move_to_end(key)
+        builder.with_price_feed(feed)
+        return builder
+
+    def stats(self) -> dict:
+        """Cache effectiveness counters (persisted into telemetry digests)."""
+        return {
+            "feed_hits": self.feed_hits,
+            "feed_builds": self.feed_builds,
+            "feeds_cached": len(self._feeds),
+        }
+
+
+def execute_job(
+    job: RunJob,
+    extra_probes: tuple = (),
+    warm: WarmRunContext | None = None,
+) -> RunOutcome:
     """Execute one run end-to-end and persist it (runs inside workers).
 
     Failures are captured and reported back as the outcome's ``error``
@@ -135,8 +220,12 @@ def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
     ``extra_probes`` are additional ``engine -> probe`` factories attached
     after the standard recorder/metrics pair — the service worker streams
     its event sink and health sampler through here.  They never cross a
-    process boundary (the pool path always passes the default), so the
+    process boundary (parallel backends refuse them), so the
     :class:`RunJob` payload stays plainly picklable.
+
+    ``warm`` is the executing worker's :class:`WarmRunContext`; when given,
+    cached immutable ingredients (the price feed) are injected into the
+    run's builder instead of being rebuilt.
 
     When ``job.collect_telemetry`` is set, the worker installs a
     :class:`~repro.telemetry.runtime.Telemetry` for the duration of the run
@@ -157,7 +246,7 @@ def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
     scope = telemetry_runtime.enabled(telemetry) if telemetry else nullcontext()
     try:
         with scope:
-            builder = job.run.builder()
+            builder = warm.builder_for(job.run) if warm is not None else job.run.builder()
             # Stream the liquidation records and the per-step aggregates while
             # the world advances instead of re-crawling the finished chain:
             # run_json reads result.records straight off the recorder probe and
@@ -188,6 +277,7 @@ def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
             idle_seconds=idle_seconds,
             elapsed_seconds=elapsed,
             pickle_bytes=pickle_bytes,
+            warm=warm,
         )
         store.write_manifest(
             job.campaign,
@@ -197,6 +287,7 @@ def execute_job(job: RunJob, extra_probes: tuple = ()) -> RunOutcome:
             elapsed_seconds=elapsed,
             metrics=to_jsonable(result.metrics),
             telemetry=digest,
+            execution=job.worker_config.describe() if job.worker_config is not None else None,
         )
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return RunOutcome(
@@ -217,6 +308,7 @@ def _telemetry_digest(
     idle_seconds: float,
     elapsed_seconds: float,
     pickle_bytes: int,
+    warm: WarmRunContext | None = None,
 ) -> dict | None:
     """Flatten a run's telemetry into the JSON block the manifest stores."""
     if telemetry is None:
@@ -227,7 +319,7 @@ def _telemetry_digest(
     def seconds(name: str) -> float:
         return round(spans.get(name, {}).get("total_seconds", 0.0), 4)
 
-    return {
+    digest = {
         "worker": worker,
         "task_index": task_index,
         "idle_seconds": round(idle_seconds, 4),
@@ -248,25 +340,68 @@ def _telemetry_digest(
             for name, stats in spans.items()
         },
     }
+    if warm is not None:
+        # Warm-ingredient reuse across the tasks this worker executed so far.
+        digest["warm_feed"] = warm.stats()
+    return digest
 
 
 class CampaignExecutor:
-    """Fan a campaign's runs out over a worker pool, resuming from the store."""
+    """Fan a campaign's runs out over an execution backend, resuming from the store."""
 
     def __init__(
         self,
         spec: CampaignSpec,
         store: RunStore | None = None,
         *,
-        workers: int = 1,
+        backend: "ExecutionBackend | WorkerConfig | str | None" = None,
+        workers: int | None = None,
         progress: ProgressCallback | None = None,
         telemetry: bool = True,
     ) -> None:
+        """``backend`` selects how runs execute (see :mod:`.backends`):
+
+        * ``None`` — serial (the default);
+        * a backend name (``"serial"`` / ``"spawn"`` / ``"persistent"``) —
+          resolved with a host-derived worker count;
+        * a :class:`~repro.campaigns.backends.WorkerConfig` — fully explicit;
+        * a live :class:`~repro.campaigns.backends.ExecutionBackend`
+          instance — caller-owned: the executor uses it but never closes
+          it, so one persistent runtime can span many campaigns.
+
+        ``workers=N`` is the deprecated pre-backend spelling; it maps to the
+        spawn pool it used to mean (``N > 1``) or serial (``N <= 1``).
+        """
+        from .backends import WorkerConfig
+
         self.spec = spec
         self.store = store or RunStore()
-        self.workers = max(int(workers), 1)
+        if workers is not None:
+            warnings.warn(
+                "CampaignExecutor(workers=N) is deprecated; pass backend=WorkerConfig(...) "
+                "or a backend name ('serial'/'spawn'/'persistent') instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if backend is None:
+                backend = WorkerConfig.from_workers(workers)
+        self._backend_instance: "ExecutionBackend | None" = None
+        if backend is None:
+            self.backend_config = WorkerConfig()
+        elif isinstance(backend, WorkerConfig):
+            self.backend_config = backend
+        elif isinstance(backend, str):
+            self.backend_config = WorkerConfig.resolve(backend=backend)
+        else:
+            self._backend_instance = backend
+            self.backend_config = WorkerConfig(backend=backend.name, workers=backend.workers)
         self.progress = progress
         self.telemetry = telemetry
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count (compat view of the backend config)."""
+        return self.backend_config.workers
 
     def _report(self, done: int, total: int, run_id: str, status: str, elapsed: float) -> None:
         if self.progress is not None:
@@ -280,7 +415,7 @@ class CampaignExecutor:
             result.failed[outcome.run_id] = outcome.error
         digest = outcome.telemetry
         if digest is not None:
-            # Per-worker utilisation roll-up: how many tasks each pool worker
+            # Per-worker utilisation roll-up: how many tasks each worker
             # took, how long it computed, and how long it waited for dispatch.
             stats = result.workers.setdefault(
                 digest["worker"], {"tasks": 0, "busy_seconds": 0.0, "idle_seconds": 0.0}
@@ -294,7 +429,11 @@ class CampaignExecutor:
         started = perf_seconds()
         campaign = self.spec.campaign
         runs = self.spec.runs()
-        result = CampaignResult(campaign=campaign, store_root=str(self.store.root))
+        result = CampaignResult(
+            campaign=campaign,
+            store_root=str(self.store.root),
+            backend=self.backend_config.backend,
+        )
 
         pending: list[RunSpec] = []
         for run in runs:
@@ -314,28 +453,23 @@ class CampaignExecutor:
                 run=run,
                 experiments=self.spec.experiments,
                 collect_telemetry=self.telemetry,
+                worker_config=self.backend_config,
             )
             for run in pending
         ]
-        if self.workers > 1 and len(jobs) > 1:
-            # Spawn (not fork) so workers start from a clean interpreter on
-            # every platform; each one re-imports the scenario registry.
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=min(self.workers, len(jobs))) as pool:
-                for outcome in pool.imap_unordered(execute_job, jobs):
+        backend = self._backend_instance
+        owned = backend is None
+        if owned:
+            backend = self.backend_config.create()
+        try:
+            if jobs:
+                for outcome in backend.run(jobs):
                     done += 1
                     self._record(result, outcome)
                     self._report(done, total, outcome.run_id, _status_of(outcome), outcome.elapsed_seconds)
-        else:
-            # A spawn pool gives every campaign fresh workers; give the serial
-            # path the same contract, or task indices and idle gaps would span
-            # earlier campaigns run in this process.
-            _WORKER_STATE.clear()
-            for job in jobs:
-                outcome = execute_job(job)
-                done += 1
-                self._record(result, outcome)
-                self._report(done, total, outcome.run_id, _status_of(outcome), outcome.elapsed_seconds)
+        finally:
+            if owned:
+                backend.close()
 
         result.executed.sort()
         result.resumed.sort()

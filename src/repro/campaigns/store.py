@@ -146,6 +146,7 @@ class RunStore:
         elapsed_seconds: float | None = None,
         metrics: dict | None = None,
         telemetry: dict | None = None,
+        execution: dict | None = None,
     ) -> Path:
         """Write the completion manifest (the durable completion marker)."""
         directory = self.run_dir(campaign, run.run_id)
@@ -171,6 +172,10 @@ class RunStore:
             # The worker's per-run telemetry digest: per-phase span timings,
             # persist/pickle cost, valuation-cache hit rate, idle time.
             manifest["telemetry"] = telemetry
+        if execution is not None:
+            # Which WorkerConfig (backend name + worker count) produced the
+            # run — round-trips via WorkerConfig.from_payload on resume.
+            manifest["execution"] = execution
         (directory / MANIFEST).write_text(_dump(manifest), encoding="utf-8")
         return directory
 
@@ -184,6 +189,7 @@ class RunStore:
         elapsed_seconds: float | None = None,
         metrics: dict | None = None,
         telemetry: dict | None = None,
+        execution: dict | None = None,
     ) -> Path:
         """Persist one completed run: experiment files first, manifest last.
 
@@ -199,4 +205,5 @@ class RunStore:
             elapsed_seconds=elapsed_seconds,
             metrics=metrics,
             telemetry=telemetry,
+            execution=execution,
         )

@@ -131,6 +131,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seeds", type=int, default=4, metavar="N", help="number of independent seeds")
     sweep_parser.add_argument("--base-seed", type=int, default=0, help="SeedSequence entropy for the seed range")
     sweep_parser.add_argument("--workers", type=int, default=1, metavar="W", help="worker processes (1 = serial)")
+    sweep_parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "serial", "spawn", "persistent"),
+        help="execution backend (default: auto — serial when --workers 1, persistent otherwise)",
+    )
     sweep_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
     sweep_parser.add_argument("--campaign", default=None, help="campaign name (default: the scenario name)")
     sweep_parser.add_argument(
@@ -170,6 +176,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--store", default="runs", metavar="DIR", help="run store root (default: runs/)")
     serve_parser.add_argument(
         "--workers", type=int, default=4, metavar="W", help="concurrent worker subprocesses (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="stream",
+        choices=("stream", "serial", "spawn", "persistent"),
+        help=(
+            "how sweep jobs execute (default: stream — one streaming subprocess "
+            "per run); campaign backends reuse warm workers but do not stream events"
+        ),
     )
     serve_parser.add_argument(
         "--run",
@@ -503,18 +518,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _status(f"error: {error.args[0]}")
         return 2
 
+    from .campaigns import WorkerConfig
+
+    worker_config = WorkerConfig.resolve(backend=args.backend, workers=args.workers)
     total = len(spec.runs())
     _status(
         f"campaign {spec.campaign!r}: scenario {spec.scenario!r}, "
         f"{len(spec.variants())} variant(s) × {spec.seeds} seed(s) = {total} runs, "
-        f"{args.workers} worker(s), store {args.store}"
+        f"{worker_config.backend} backend × {worker_config.workers} worker(s), store {args.store}"
     )
 
     def progress(done: int, run_total: int, run_id: str, status: str, elapsed: float) -> None:
         timing = f" ({elapsed:.1f}s)" if status != "resumed" else ""
         _status(f"[{done}/{run_total}] {status} {run_id}{timing}")
 
-    executor = CampaignExecutor(spec, RunStore(args.store), workers=args.workers, progress=progress)
+    executor = CampaignExecutor(spec, RunStore(args.store), backend=worker_config, progress=progress)
     result = executor.execute()
     failures = f", {len(result.failed)} failed" if result.failed else ""
     _status(
@@ -563,6 +581,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ServiceConfig(
             store_root=args.store,
             workers=args.workers,
+            backend=args.backend,
             policy=policy,
             drain_timeout=args.drain_timeout,
             resume=not args.no_resume,
@@ -601,6 +620,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _status(
         f"service: store {args.store}, {args.workers} worker(s), "
+        f"{args.backend} sweep backend, "
         f"alerts warn<{policy.warning_hf} crit<{policy.critical_hf} "
         f"cooldown {policy.cooldown_blocks} blocks"
     )

@@ -22,12 +22,27 @@ __all__ = ["PicklableCampaignPayloads"]
 
 #: Pool submission APIs whose callable/iterable arguments cross the
 #: process boundary and must therefore be module-level and picklable.
+#: ``put`` / ``put_nowait`` cover the persistent backend's task queues —
+#: its ``TaskBatch`` dispatch messages pickle exactly like pool arguments.
 _POOL_METHODS = frozenset(
-    {"map", "map_async", "imap", "imap_unordered", "apply", "apply_async", "starmap", "starmap_async"}
+    {
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "apply",
+        "apply_async",
+        "starmap",
+        "starmap_async",
+        "put",
+        "put_nowait",
+    }
 )
 
-#: Spec constructors whose field values are persisted / shipped to workers.
-_SPEC_CONSTRUCTORS = frozenset({"RunJob", "RunSpec", "CampaignSpec"})
+#: Spec constructors whose field values are persisted / shipped to workers
+#: (``TaskBatch`` and ``WorkerConfig`` ride inside persistent-worker task
+#: payloads and run manifests respectively).
+_SPEC_CONSTRUCTORS = frozenset({"RunJob", "RunSpec", "CampaignSpec", "TaskBatch", "WorkerConfig"})
 
 
 def _module_level_counters(tree: ast.Module, aliases: dict[str, str]) -> Iterator[ast.Assign]:
@@ -59,7 +74,8 @@ class PicklableCampaignPayloads(Rule):
     code = "PKL003"
     title = "campaign payloads stay picklable; global counters reset per run"
     rationale = """\
-Everything handed to a worker pool or stored on a campaign spec must be a
+Everything handed to a worker pool, queued to a persistent worker
+(``TaskBatch`` messages) or stored on a campaign spec must be a
 module-level, picklable value — lambdas, closures and local classes fail to
 pickle under the spawn start method (and do so only on the parallel path).
 Separately, any module-global mutable counter (``itertools.count`` at

@@ -551,6 +551,11 @@ class ScenarioBuilder:
         self._registry_factory = factory
         return self
 
+    @property
+    def feed_factory(self) -> Callable[[BuildContext], PriceFeed]:
+        """The price-feed factory in effect (compare with ``default_price_feed``)."""
+        return self._feed_factory
+
     def with_price_feed(self, feed: PriceFeed | Callable[[BuildContext], PriceFeed]) -> "ScenarioBuilder":
         """Replace the price feed (an instance or a ``ctx -> PriceFeed``)."""
         self._feed_factory = feed if callable(feed) else (lambda ctx: feed)

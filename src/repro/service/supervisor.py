@@ -8,7 +8,12 @@ One process, three planes:
   transport.  The parent decodes the stream live: typed events fold into
   per-run progress (:class:`RunProgress`) and the aggregate dashboard
   metrics; ``hf_sample`` lines feed the tiered
-  :class:`~repro.service.alerts.AlertEngine`.
+  :class:`~repro.service.alerts.AlertEngine`.  With
+  ``ServiceConfig(backend=...)`` set to a campaign backend name, *sweep*
+  runs route through the shared
+  :class:`~repro.campaigns.backends.ExecutionBackend` interface instead —
+  the persistent runtime's warm workers serve HTTP-submitted sweeps —
+  while single runs keep the streaming path.
 * **control** — job submission via :meth:`ServiceSupervisor.submit`
   (thread-safe; the HTTP ``POST /jobs`` route calls it from a server
   thread) and the journal + run-store resume contract on restart.
@@ -34,6 +39,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from concurrent.futures import ThreadPoolExecutor
+
+from ..campaigns.backends import ExecutionBackend, WorkerConfig
 from ..campaigns.executor import RunJob
 from ..campaigns.store import RunStore
 from ..observers.events import (
@@ -69,6 +77,14 @@ class ServiceConfig:
 
     store_root: str = "runs"
     workers: int = 4
+    #: How *sweep* jobs execute: ``"stream"`` (the default) runs every run in
+    #: its own streaming worker subprocess — live events, health samples and
+    #: alerts; any campaign backend name (``serial`` / ``spawn`` /
+    #: ``persistent``) routes sweep runs through the shared
+    #: :class:`~repro.campaigns.backends.ExecutionBackend` interface instead,
+    #: trading live event streams for warm-worker throughput.  Single-run
+    #: (``kind == "run"``) jobs always stream.
+    backend: str = "stream"
     policy: AlertPolicy = field(default_factory=AlertPolicy)
     #: Worker-side sampling threshold; defaults to a margin above the
     #: warning tier so deterioration is visible before a tier is crossed.
@@ -85,6 +101,13 @@ class ServiceConfig:
         if self.sample_below is not None:
             return self.sample_below
         return max(self.policy.warning_hf + 0.05, DEFAULT_SAMPLE_BELOW)
+
+    @property
+    def worker_config(self) -> WorkerConfig:
+        """The campaign :class:`WorkerConfig` for non-stream sweep execution."""
+        if self.backend == "stream":
+            raise ValueError("the stream backend has no campaign WorkerConfig")
+        return WorkerConfig.resolve(backend=self.backend, workers=self.workers)
 
 
 class RunProgress:
@@ -160,6 +183,12 @@ class ServiceSupervisor:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._draining = False
         self._active_procs: set[asyncio.subprocess.Process] = set()
+        # Non-stream sweep execution: the shared campaign backend plus the
+        # thread pool its blocking execute_one calls run on.  Both lazy — a
+        # stream-only service never pays for them.
+        self._backend: ExecutionBackend | None = None
+        self._backend_pool: ThreadPoolExecutor | None = None
+        self._backend_active = 0
         self._dir_locks: dict[tuple[str, str], asyncio.Lock] = {}
         #: The live HTTP surface while serving with a port (tests read the
         #: bound ephemeral port off it).
@@ -333,6 +362,11 @@ class ServiceSupervisor:
                     proc.terminate()
                 except ProcessLookupError:  # pragma: no cover - exit race
                     pass
+        backend = self._backend
+        if backend is not None and self._backend_active:
+            # Kill the campaign workers too: their in-flight runs come back
+            # as failed outcomes and are recorded interrupted (resumable).
+            backend.terminate()
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -402,6 +436,12 @@ class ServiceSupervisor:
                 loop.remove_signal_handler(signum)
             if server is not None:
                 server.stop()
+            backend, self._backend = self._backend, None
+            pool, self._backend_pool = self._backend_pool, None
+            if backend is not None:
+                backend.close()
+            if pool is not None:
+                pool.shutdown(wait=False)
             self._save_journal()
             self._loop = None
             self._queue = None
@@ -457,11 +497,83 @@ class ServiceSupervisor:
             run_state.status = "running"
             self._save_journal()
             self._refresh_gauges()
-            await self._run_subprocess(record, run_state, emit)
+            if record.kind == "sweep" and self.config.backend != "stream":
+                await self._run_via_backend(record, run_state, emit)
+            else:
+                await self._run_subprocess(record, run_state, emit)
 
     def _refresh_gauges(self) -> None:
         with self._lock:
             self._refresh_job_gauge()
+
+    def _campaign_backend(self) -> tuple[ExecutionBackend, ThreadPoolExecutor]:
+        """The shared campaign backend (and its dispatch pool), created lazily."""
+        if self._backend is None:
+            config = self.config.worker_config
+            self._backend = config.create()
+            self._backend_pool = ThreadPoolExecutor(
+                max_workers=self.config.workers, thread_name_prefix="svc-backend"
+            )
+        assert self._backend_pool is not None
+        return self._backend, self._backend_pool
+
+    def _set_active(self, delta: int) -> None:
+        self._backend_active += delta
+        active = len(self._active_procs) + self._backend_active
+        self.peak_active_runs = max(self.peak_active_runs, active)
+        self._m_active.set(active)
+        self._m_peak.set(self.peak_active_runs)
+
+    async def _run_via_backend(self, record: JobRecord, run_state: RunState, emit) -> None:
+        """Execute one sweep run through the shared campaign backend.
+
+        The same :class:`~repro.campaigns.backends.ExecutionBackend` interface
+        ``repro sweep`` uses — so a persistent backend's warm workers serve
+        HTTP-submitted sweeps too.  ``execute_one`` is blocking, so it runs on
+        the service's backend thread pool; the asyncio worker task just awaits
+        the outcome.  No event stream exists on this path: progress is folded
+        from the outcome, not per block.
+        """
+        spec = run_state.spec
+        backend, pool = self._campaign_backend()
+        job = RunJob(
+            store_root=str(self.store.root),
+            campaign=record.campaign,
+            run=spec,
+            experiments=record.experiments,
+            collect_telemetry=self.config.telemetry,
+            worker_config=self.config.worker_config,
+        )
+        self._set_active(+1)
+        try:
+            assert self._loop is not None
+            outcome = await self._loop.run_in_executor(pool, backend.execute_one, job)
+        finally:
+            self._set_active(-1)
+        if outcome.error is not None:
+            if self._draining:
+                # A drain terminated the backend mid-run: the store holds no
+                # completed manifest, so the run resumes on restart.
+                self._finish_run(record, run_state, "interrupted")
+                emit(f"[service] {record.job_id}: interrupted {spec.run_id} (resumable)")
+            else:
+                self._finish_run(record, run_state, "failed", outcome.error)
+                emit(f"[service] {record.job_id}: failed {spec.run_id}: {outcome.error}")
+            return
+        manifest = self.store.read_manifest(record.campaign, spec.run_id) or {}
+        metrics = manifest.get("metrics") or {}
+        liquidations = metrics.get("liquidations") or {}
+        run_state.steps = int(metrics.get("steps", 0))
+        run_state.blocks = int(metrics.get("blocks", 0))
+        run_state.last_block = int(metrics.get("final_block") or 0)
+        run_state.incidents = int(metrics.get("incidents_fired", 0))
+        run_state.liquidations = int(liquidations.get("count", 0))
+        self._m_liquidations.inc(run_state.liquidations)
+        self._finish_run(record, run_state, "completed")
+        emit(
+            f"[service] {record.job_id}: completed {spec.run_id} via {backend.name} backend "
+            f"({outcome.elapsed_seconds:.1f}s, {run_state.liquidations} liquidations)"
+        )
 
     async def _run_subprocess(self, record: JobRecord, run_state: RunState, emit) -> None:
         spec = run_state.spec
@@ -489,10 +601,7 @@ class ServiceSupervisor:
             limit=1 << 20,
         )
         self._active_procs.add(proc)
-        active = len(self._active_procs)
-        self.peak_active_runs = max(self.peak_active_runs, active)
-        self._m_active.set(active)
-        self._m_peak.set(self.peak_active_runs)
+        self._set_active(0)
 
         decoder = EventStreamDecoder()
         progress = RunProgress(run_state)
@@ -512,7 +621,7 @@ class ServiceSupervisor:
             returncode = await proc.wait()
         finally:
             self._active_procs.discard(proc)
-            self._m_active.set(len(self._active_procs))
+            self._set_active(0)
         if decoder.lines_dropped:
             self._m_dropped.inc(decoder.lines_dropped)
 

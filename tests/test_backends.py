@@ -1,0 +1,404 @@
+"""Tests for the execution-backend API: WorkerConfig, the registry, and the
+serial / spawn / persistent backends.
+
+The load-bearing contract is byte-identity: whichever backend (and however
+many workers) executes a campaign, the store files must match the serial
+ground truth exactly — including under the persistent backend's warm-worker
+reuse.  The expensive checks run on drastically truncated windows (a few
+engine strides per run) so the full scenario registry stays affordable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import scenarios
+from repro.campaigns import (
+    CampaignExecutor,
+    CampaignSpec,
+    PersistentBackend,
+    RunStore,
+    SerialBackend,
+    WorkerConfig,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.campaigns.executor import RunJob, WarmRunContext, execute_job
+from repro.chain.types import make_address
+from repro.cli import main
+from repro.runtime_state import reset_run_state
+from repro.service import ServiceConfig, ServiceSupervisor
+
+#: Strides kept when truncating a scenario's window for cheap runs.
+STRIDES = 20
+
+
+def truncated_end_block(name: str) -> int:
+    config = scenarios.get(name).builder(None).config
+    return min(config.end_block, config.start_block + STRIDES * config.blocks_per_step)
+
+
+def tiny_spec(name: str = "small", **kwargs) -> CampaignSpec:
+    defaults = dict(
+        scenario=name,
+        seeds=1,
+        base_seed=11,
+        overrides={"end_block": truncated_end_block(name)},
+        experiments=("table1",),
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def store_bytes(store: RunStore, campaign: str) -> dict[str, bytes]:
+    """Every experiment file of a campaign, keyed by relative path.
+
+    Manifests are excluded: they record which backend produced the run (the
+    ``execution`` block), which is the one *intentional* difference.
+    """
+    out = {}
+    for run_id in store.run_ids(campaign):
+        directory = store.run_dir(campaign, run_id)
+        for path in sorted(directory.glob("*.json")):
+            if path.name == "manifest.json":
+                continue
+            out[f"{run_id}/{path.name}"] = path.read_bytes()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# WorkerConfig: the unified configuration surface
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerConfig:
+    def test_defaults_to_serial_single_worker(self):
+        assert WorkerConfig() == WorkerConfig(backend="serial", workers=1)
+
+    def test_resolve_auto_maps_worker_count_to_backend(self):
+        assert WorkerConfig.resolve() == WorkerConfig(backend="serial", workers=1)
+        assert WorkerConfig.resolve(backend="auto", workers=1).backend == "serial"
+        resolved = WorkerConfig.resolve(backend="auto", workers=4)
+        assert resolved == WorkerConfig(backend="persistent", workers=4)
+
+    def test_resolve_serial_forces_one_worker(self):
+        assert WorkerConfig.resolve(backend="serial", workers=8).workers == 1
+
+    def test_resolve_parallel_backend_without_count_gets_host_default(self):
+        resolved = WorkerConfig.resolve(backend="persistent")
+        assert resolved.backend == "persistent"
+        assert resolved.workers >= 2
+
+    def test_from_workers_preserves_legacy_spawn_semantics(self):
+        assert WorkerConfig.from_workers(1) == WorkerConfig(backend="serial", workers=1)
+        assert WorkerConfig.from_workers(4) == WorkerConfig(backend="spawn", workers=4)
+
+    def test_describe_round_trips_through_manifest_payload(self):
+        config = WorkerConfig(backend="persistent", workers=3)
+        assert WorkerConfig.from_payload(config.describe()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(backend="serial", workers=0)
+        with pytest.raises(ValueError):
+            WorkerConfig(backend="", workers=1)
+
+    def test_unknown_backend_name_lists_registered(self):
+        with pytest.raises(KeyError, match="serial"):
+            create_backend(WorkerConfig(backend="no-such-backend", workers=1))
+
+    def test_register_backend_extends_the_registry(self, tmp_path):
+        register_backend("test-custom", lambda config: SerialBackend())
+        try:
+            assert "test-custom" in backend_names()
+            store = RunStore(tmp_path)
+            result = CampaignExecutor(
+                tiny_spec(), store, backend=WorkerConfig(backend="test-custom", workers=1)
+            ).execute()
+            assert result.backend == "test-custom"
+            assert not result.failed
+        finally:
+            from repro.campaigns import backends
+
+            backends._BACKEND_FACTORIES.pop("test-custom", None)
+
+
+class TestDeprecatedWorkersAlias:
+    def test_workers_kwarg_warns_and_maps_to_spawn(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="workers=N"):
+            executor = CampaignExecutor(tiny_spec(), RunStore(tmp_path), workers=3)
+        assert executor.backend_config == WorkerConfig(backend="spawn", workers=3)
+        assert executor.workers == 3
+
+    def test_workers_one_maps_to_serial(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            executor = CampaignExecutor(tiny_spec(), RunStore(tmp_path), workers=1)
+        assert executor.backend_config == WorkerConfig()
+
+
+# --------------------------------------------------------------------- #
+# Backend equivalence: byte-identity across the full scenario registry
+# --------------------------------------------------------------------- #
+
+
+def test_all_backends_byte_identical_for_every_registered_scenario(tmp_path):
+    """Serial, spawn, and persistent execution must write identical
+    experiment files for every registered scenario.
+
+    One persistent backend instance is shared across all the campaigns —
+    exactly its production shape — so this also proves warm-worker reuse
+    across campaigns leaks no state between scenarios.
+    """
+    names = scenarios.names()
+    serial_store = RunStore(tmp_path / "serial")
+    spawn_store = RunStore(tmp_path / "spawn")
+    persistent_store = RunStore(tmp_path / "persistent")
+
+    for name in names:
+        result = CampaignExecutor(tiny_spec(name), serial_store).execute()
+        assert not result.failed, result.failed
+
+    with PersistentBackend(workers=2) as persistent:
+        for name in names:
+            result = CampaignExecutor(tiny_spec(name), persistent_store, backend=persistent).execute()
+            assert not result.failed, result.failed
+            assert result.backend == "persistent"
+
+    spawn_config = WorkerConfig(backend="spawn", workers=2)
+    for name in names:
+        result = CampaignExecutor(tiny_spec(name, seeds=2), spawn_store, backend=spawn_config).execute()
+        assert not result.failed, result.failed
+
+    for name in names:
+        serial = store_bytes(serial_store, name)
+        assert serial, f"no store files for {name}"
+        assert store_bytes(persistent_store, name) == serial
+        # The spawn sweep ran an extra seed; compare the shared subset.
+        spawn = store_bytes(spawn_store, name)
+        assert {k: spawn[k] for k in serial} == serial
+
+
+def test_warm_feed_reuse_is_byte_identical_and_leaks_no_state(tmp_path):
+    """A grid sweep sharing one warm worker must match cold serial execution
+    byte for byte, and the warm cache must actually get hits."""
+    spec_kwargs = dict(grid={"close_factor": (0.3, 0.5, 0.7)}, seeds=1)
+    cold_store = RunStore(tmp_path / "cold")
+    warm_store = RunStore(tmp_path / "warm")
+    cold = CampaignExecutor(tiny_spec(**spec_kwargs), cold_store).execute()
+    assert not cold.failed
+
+    warm_backend = SerialBackend(warm=True)
+    warm = CampaignExecutor(tiny_spec(**spec_kwargs), warm_store, backend=warm_backend).execute()
+    assert not warm.failed
+    assert store_bytes(warm_store, "small") == store_bytes(cold_store, "small")
+
+    # The three grid points share one warm_key (close_factor is
+    # feed-neutral), so the feed was built once and reused twice.
+    assert warm_backend._warm.stats() == {"feed_hits": 2, "feed_builds": 1, "feeds_cached": 1}
+    last = max(warm_store.run_ids("small"))
+    digest = warm_store.read_manifest("small", last)["telemetry"]["warm_feed"]
+    assert digest["feed_hits"] == 2
+
+
+def test_warm_execution_leaves_id_counters_exactly_reset(tmp_path):
+    """After a warm run, ``reset_run_state`` must restore the global id
+    counters to the same point as after a cold run — the same-worker
+    task-to-task isolation the persistent runtime depends on."""
+    spec = tiny_spec()
+    run = spec.runs()[0]
+    job = RunJob(
+        store_root=str(tmp_path / "a"),
+        campaign=spec.campaign,
+        run=run,
+        experiments=spec.experiments,
+    )
+    outcome = execute_job(job)
+    assert outcome.error is None
+    reset_run_state()
+    cold_probe = make_address("probe")
+
+    warm = WarmRunContext()
+    job2 = RunJob(
+        store_root=str(tmp_path / "b"),
+        campaign=spec.campaign,
+        run=run,
+        experiments=spec.experiments,
+    )
+    assert execute_job(job2, warm=warm).error is None  # builds the feed
+    assert execute_job(job2, warm=warm).error is None  # warm hit
+    assert warm.feed_hits == 1
+    reset_run_state()
+    assert make_address("probe") == cold_probe
+
+
+def test_custom_feed_factories_are_never_warm_cached(tmp_path):
+    """A scenario with a custom price-feed factory bypasses the warm cache
+    (the factory may consume the build context)."""
+    spec = tiny_spec()
+    run = spec.runs()[0]
+    warm = WarmRunContext()
+    builder = run.builder()
+    builder.with_price_feed(builder.build_feed())  # now a custom factory
+    cached = warm.builder_for(run)  # default factory: cached
+    assert warm.feed_builds == 1
+
+    class _FixedFactorySpec:
+        scenario = run.scenario
+        overrides = run.overrides
+        seed = run.seed
+        warm_key = run.warm_key
+
+        @staticmethod
+        def builder():
+            return builder
+
+    out = warm.builder_for(_FixedFactorySpec)
+    assert out is builder
+    assert warm.feed_builds == 1 and warm.feed_hits == 0  # untouched
+
+
+# --------------------------------------------------------------------- #
+# Persistent backend: robustness and lifecycle
+# --------------------------------------------------------------------- #
+
+
+def test_persistent_worker_death_fails_pending_runs_and_respawns(tmp_path):
+    """Killing a worker mid-task surfaces its pending runs as failed
+    outcomes (never hangs, never silently drops) and the slot respawns."""
+    spec = tiny_spec(seeds=2)
+    jobs = [
+        RunJob(
+            store_root=str(tmp_path / "dead"),
+            campaign=spec.campaign,
+            run=run,
+            experiments=spec.experiments,
+        )
+        for run in spec.runs()
+    ]
+    backend = PersistentBackend(workers=1)
+    try:
+        backend.start()
+        outcomes: list = []
+        collector = threading.Thread(target=lambda: outcomes.extend(backend.run(jobs)))
+        collector.start()
+        # Give dispatch a moment, then kill the only worker while both runs
+        # are outstanding (spawn start-up alone outlasts this sleep).
+        time.sleep(0.3)
+        backend._procs[0].terminate()
+        collector.join(timeout=60)
+        assert not collector.is_alive(), "backend.run() hung after worker death"
+        assert len(outcomes) == 2
+        assert all(o.error and "persistent worker" in o.error for o in outcomes)
+
+        # The slot respawned: the same backend executes new work fine.
+        retry = CampaignExecutor(
+            tiny_spec(), RunStore(tmp_path / "retry"), backend=backend
+        ).execute()
+        assert not retry.failed
+    finally:
+        backend.close()
+
+
+def test_persistent_rejects_probes_and_reuse_after_close(tmp_path):
+    spec = tiny_spec()
+    job = RunJob(
+        store_root=str(tmp_path),
+        campaign=spec.campaign,
+        run=spec.runs()[0],
+        experiments=spec.experiments,
+    )
+    backend = PersistentBackend(workers=1)
+    with pytest.raises(ValueError, match="extra_probes"):
+        next(iter(backend.run([job], extra_probes=(lambda engine: None,))))
+    backend.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        backend.start()
+
+
+def test_manifest_execution_block_survives_resume(tmp_path):
+    """The execution block records the backend that *produced* the run;
+    resuming under a different backend must not rewrite it."""
+    store = RunStore(tmp_path)
+    spec = tiny_spec()
+    first = CampaignExecutor(spec, store, backend="persistent").execute()
+    assert not first.failed
+    run_id = spec.runs()[0].run_id
+    manifest = store.read_manifest(spec.campaign, run_id)
+    assert WorkerConfig.from_payload(manifest["execution"]).backend == "persistent"
+
+    again = CampaignExecutor(spec, store).execute()
+    assert again.resumed == [run_id] and not again.executed
+    assert store.read_manifest(spec.campaign, run_id)["execution"]["backend"] == "persistent"
+
+
+# --------------------------------------------------------------------- #
+# CLI and service integration
+# --------------------------------------------------------------------- #
+
+
+def test_sweep_cli_backend_flag(tmp_path, capsys):
+    code = main(
+        [
+            "sweep",
+            "--scenario",
+            "small",
+            "--seeds",
+            "1",
+            "--set",
+            f"end_block={truncated_end_block('small')}",
+            "--report",
+            "table1",
+            "--store",
+            str(tmp_path),
+            "--backend",
+            "persistent",
+            "--workers",
+            "2",
+        ]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "persistent backend × 2 worker(s)" in err
+    manifest = RunStore(tmp_path).read_manifest("small", "base-seed000")
+    assert manifest["execution"] == {"backend": "persistent", "workers": 2}
+
+
+def test_sweep_cli_rejects_unknown_backend(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--scenario", "small", "--backend", "threads", "--store", str(tmp_path)])
+    assert excinfo.value.code == 2
+
+
+def test_service_sweep_jobs_run_through_the_campaign_backend(tmp_path):
+    """`repro serve --backend persistent` routes sweep runs through the
+    shared ExecutionBackend interface: warm campaign workers, no streaming
+    subprocess, manifests stamped with the producing backend."""
+    supervisor = ServiceSupervisor(
+        ServiceConfig(store_root=str(tmp_path), workers=2, backend="persistent")
+    )
+    supervisor.submit(
+        {
+            "kind": "sweep",
+            "scenario": "small",
+            "seeds": 2,
+            "base_seed": 11,
+            "overrides": {"end_block": truncated_end_block("small")},
+            "experiments": ["table1"],
+            "campaign": "svc-backend",
+        }
+    )
+    summary = asyncio.run(supervisor.serve(exit_when_idle=True, install_signals=False))
+    assert summary.completed_runs == 2 and summary.failed_runs == 0
+
+    store = RunStore(tmp_path)
+    for run_id in store.run_ids("svc-backend"):
+        manifest = store.read_manifest("svc-backend", run_id)
+        assert manifest["status"] == "completed"
+        assert manifest["execution"] == {"backend": "persistent", "workers": 2}
+        # Executed by a persistent campaign worker, not a streaming subprocess.
+        assert manifest["telemetry"]["worker"].startswith("persistent-")

@@ -16,6 +16,7 @@ from repro.campaigns import (
     CampaignExecutor,
     CampaignSpec,
     RunStore,
+    WorkerConfig,
     aggregate_campaign,
     apply_overrides,
     render_comparison,
@@ -160,7 +161,9 @@ class TestExecutorAndStore:
         serial_store = RunStore(tmp_path / "serial")
         parallel_store = RunStore(tmp_path / "parallel")
         serial = CampaignExecutor(tiny_spec(), serial_store).execute()
-        parallel = CampaignExecutor(tiny_spec(), parallel_store, workers=4).execute()
+        parallel = CampaignExecutor(
+            tiny_spec(), parallel_store, backend=WorkerConfig(backend="spawn", workers=4)
+        ).execute()
         assert sorted(serial.executed) == sorted(parallel.executed)
         assert not serial.resumed and not parallel.resumed
         serial_bytes = read_run_bytes(serial_store, "small")
@@ -241,6 +244,7 @@ class TestExecutorAndStore:
         assert manifest["seed"] == spawn_seeds(0, 1)[0]
         assert manifest["experiments"] == sorted(FAST_EXPERIMENTS)
         assert manifest["config"]["end_block"] == 9_760_000
+        assert manifest["execution"] == {"backend": "serial", "workers": 1}
 
 
 class TestAggregate:
